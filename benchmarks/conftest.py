@@ -1,0 +1,55 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates (a scaled-down version of) one table or figure of
+the paper and attaches the resulting rows to the pytest-benchmark record via
+``benchmark.extra_info`` so the numbers can be inspected in the saved JSON.
+Scale factors can be raised through the ``REPRO_BENCH_SCALE`` environment
+variable (1.0 = the fast defaults used in CI, larger values run longer and
+with more UEs, approaching the paper's configurations).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    """The global scale factor applied to durations and UE counts."""
+    try:
+        return max(0.25, float(os.environ.get("REPRO_BENCH_SCALE", "1.0")))
+    except ValueError:
+        return 1.0
+
+
+def scaled_duration(base: float) -> float:
+    """Scale a benchmark's simulated duration."""
+    return base * bench_scale()
+
+
+def scaled_ues(base: int) -> int:
+    """Scale a benchmark's UE count."""
+    return max(1, int(round(base * bench_scale())))
+
+
+@pytest.fixture
+def scale() -> float:
+    """Expose the scale factor to benchmarks that want it directly."""
+    return bench_scale()
+
+
+def attach_rows(benchmark, rows, **extra) -> None:
+    """Store experiment output on the benchmark record (JSON-serialisable)."""
+    def _clean(value):
+        if isinstance(value, float):
+            return round(value, 4)
+        if isinstance(value, (list, tuple)):
+            return [_clean(v) for v in value][:20]
+        if isinstance(value, dict):
+            return {k: _clean(v) for k, v in value.items()}
+        return value
+
+    benchmark.extra_info["rows"] = _clean(rows)
+    for key, value in extra.items():
+        benchmark.extra_info[key] = _clean(value)

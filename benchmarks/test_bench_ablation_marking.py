@@ -1,0 +1,24 @@
+"""Benchmark for the §6.3.1 ablation: L4Span vs DualPi2-style hard thresholds."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_rows, scaled_duration
+from repro.experiments.ablations import AblationConfig, marking_strategy_ablation
+
+
+def test_ablation_marking_strategy(benchmark):
+    config = AblationConfig(duration_s=scaled_duration(6.0), channel="static")
+
+    def run():
+        return marking_strategy_ablation(config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+    by_marker = {row["marker"]: row for row in rows}
+    # Any in-RAN marking removes the unmanaged bloat ...
+    assert by_marker["l4span"]["owd_median_ms"] < \
+        by_marker["none"]["owd_median_ms"]
+    # ... but the hard 1 ms threshold leaves throughput on the table compared
+    # with L4Span's error-aware marking (paper: 73% lower throughput).
+    assert by_marker["l4span"]["throughput_mbps"] >= \
+        by_marker["ran_dualpi2"]["throughput_mbps"] * 0.9

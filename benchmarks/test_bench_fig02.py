@@ -1,0 +1,23 @@
+"""Benchmark regenerating Fig. 2 (motivation: wired vs 5G vs 5G+L4Span)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_rows, scaled_duration
+from repro.experiments.fig02_motivation import Fig2Config, run_fig2
+
+
+def test_fig02_motivation(benchmark):
+    config = Fig2Config(duration_s=scaled_duration(5.0))
+
+    def run():
+        return run_fig2(config)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = result.rows()
+    attach_rows(benchmark, rows)
+    prague_plain = next(r for r in rows if r["panel"] == "5g"
+                        and r["cc"] == "prague")
+    prague_span = next(r for r in rows if r["panel"] == "5g+l4span"
+                       and r["cc"] == "prague")
+    # The paper's Fig. 2 contrast: L4Span removes the RAN queueing delay.
+    assert prague_span["rtt_ms"] < prague_plain["rtt_ms"]

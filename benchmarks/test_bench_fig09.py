@@ -1,0 +1,25 @@
+"""Benchmark regenerating Fig. 9 (the main TCP sweep, scaled down)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_rows, scaled_duration, scaled_ues
+from repro.experiments.fig09_tcp_sweep import (SweepConfig, improvement_table,
+                                               run_fig9)
+
+
+def test_fig09_tcp_sweep(benchmark):
+    config = SweepConfig(cc_names=("prague", "bbr2", "cubic"),
+                         channels=("static", "mobile"),
+                         ue_counts=(scaled_ues(4),),
+                         duration_s=scaled_duration(4.0))
+
+    def run():
+        return run_fig9(config)
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [cell.as_row() for cell in cells]
+    improvements = improvement_table(cells)
+    attach_rows(benchmark, rows, improvements=improvements)
+    # Shape check: Prague's one-way delay drops by a large factor under L4Span.
+    prague = [row for row in improvements if row["cc"] == "prague"]
+    assert prague and all(row["owd_reduction_pct"] > 50 for row in prague)

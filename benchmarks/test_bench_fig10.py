@@ -1,0 +1,25 @@
+"""Benchmark regenerating Fig. 10 (delay breakdown, RR vs PF)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_rows, scaled_duration, scaled_ues
+from repro.experiments.fig10_breakdown import BreakdownConfig, run_fig10
+
+
+def test_fig10_delay_breakdown(benchmark):
+    config = BreakdownConfig(schedulers=("rr", "pf"),
+                             ue_counts=(scaled_ues(4),),
+                             duration_s=scaled_duration(4.0))
+
+    def run():
+        return run_fig10(config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+    for scheduler in ("rr", "pf"):
+        with_l4span = next(r for r in rows if r["scheduler"] == scheduler
+                           and r["l4span"])
+        without = next(r for r in rows if r["scheduler"] == scheduler
+                       and not r["l4span"])
+        # Queuing dominates the plain RAN; L4Span removes most of it.
+        assert with_l4span["queuing_ms"] < without["queuing_ms"]

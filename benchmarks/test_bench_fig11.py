@@ -1,0 +1,25 @@
+"""Benchmark regenerating Fig. 11 (short-flow finish time vs long-flow rate)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_rows, scaled_duration
+from repro.experiments.fig11_short_flows import ShortFlowConfig, run_fig11
+
+
+def test_fig11_short_flows(benchmark):
+    config = ShortFlowConfig(cc_names=("prague", "cubic"),
+                             duration_s=scaled_duration(7.0),
+                             slf_start=scaled_duration(3.5))
+
+    def run():
+        return run_fig11(config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+    for cc in ("prague", "cubic"):
+        with_l4span = next(r for r in rows if r["cc"] == cc and r["l4span"])
+        without = next(r for r in rows if r["cc"] == cc and not r["l4span"])
+        assert with_l4span["slf_finish_time_ms"] is not None
+        if without["slf_finish_time_ms"] is not None:
+            assert (with_l4span["slf_finish_time_ms"]
+                    <= without["slf_finish_time_ms"] * 1.2)

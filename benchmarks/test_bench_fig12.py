@@ -1,0 +1,23 @@
+"""Benchmark regenerating Fig. 12 (L4Span vs TC-RAN)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_rows, scaled_duration
+from repro.experiments.fig12_tcran import (TcRanComparisonConfig, run_fig12,
+                                           throughput_improvement)
+
+
+def test_fig12_tcran_comparison(benchmark):
+    config = TcRanComparisonConfig(cc_names=("prague", "cubic"),
+                                   channels=("static",),
+                                   duration_s=scaled_duration(6.0))
+
+    def run():
+        return run_fig12(config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, rows,
+                improvements=throughput_improvement(rows))
+    # Both markers keep the one-way delay far below the unmanaged multi-second
+    # bloat; the interesting comparison (recorded in extra_info) is throughput.
+    assert all(row["owd_median_ms"] < 1000 for row in rows)

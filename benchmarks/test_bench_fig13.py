@@ -1,0 +1,21 @@
+"""Benchmark regenerating Fig. 13 (SCReAM / UDP Prague interactive video)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_rows, scaled_duration, scaled_ues
+from repro.experiments.fig13_interactive import InteractiveConfig, run_fig13
+
+
+def test_fig13_interactive_video(benchmark):
+    config = InteractiveConfig(cc_names=("scream", "udp_prague"),
+                               channels=("static", "vehicular"),
+                               num_ues=scaled_ues(4),
+                               duration_s=scaled_duration(5.0))
+
+    def run():
+        return run_fig13(config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+    assert all(row["per_ue_tput_mbps"] > 0 for row in rows)
+    assert {row["cc"] for row in rows} == {"scream", "udp_prague"}

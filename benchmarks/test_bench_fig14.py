@@ -1,0 +1,21 @@
+"""Benchmark regenerating Fig. 14 (throughput fairness panels)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_rows, scaled_duration
+from repro.experiments.fig14_fairness import FairnessConfig, run_fig14
+
+
+def test_fig14_fairness(benchmark):
+    config = FairnessConfig(duration_s=scaled_duration(8.0),
+                            stagger_s=scaled_duration(1.5))
+
+    def run():
+        return run_fig14(config)
+
+    panels = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [{"panel": p.name, "fairness_index": p.fairness_index,
+             "throughputs_mbps": p.mean_throughputs_mbps} for p in panels]
+    attach_rows(benchmark, rows)
+    same_rtt = next(p for p in panels if "equal RTT" in p.name)
+    assert same_rtt.fairness_index > 0.6

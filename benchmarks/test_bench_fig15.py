@@ -1,0 +1,24 @@
+"""Benchmark regenerating Fig. 15 (feedback short-circuiting on/off)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_rows, scaled_duration
+from repro.experiments.fig15_shortcircuit import ShortCircuitConfig, run_fig15
+
+
+def test_fig15_shortcircuit(benchmark):
+    config = ShortCircuitConfig(cc_names=("prague", "cubic"),
+                                duration_s=scaled_duration(6.0))
+
+    def run():
+        return run_fig15(config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, [{k: v for k, v in row.items() if k != "rtt_cdf"}
+                            for row in rows])
+    with_sc = next(r for r in rows if r["cc"] == "prague" and r["shortcircuit"])
+    without_sc = next(r for r in rows
+                      if r["cc"] == "prague" and not r["shortcircuit"])
+    assert with_sc["shortcircuited_acks"] > 0
+    # Short-circuiting must not cost throughput (paper Fig. 15b).
+    assert with_sc["throughput_mbps"] > 0.5 * without_sc["throughput_mbps"]

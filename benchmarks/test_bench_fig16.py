@@ -1,0 +1,22 @@
+"""Benchmark regenerating Fig. 16 (L4S/classic flows sharing one DRB)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_rows, scaled_duration
+from repro.experiments.fig16_shared_drb import (SHARED_DRB_STRATEGIES,
+                                                SharedDrbConfig, run_fig16)
+
+
+def test_fig16_shared_drb(benchmark):
+    config = SharedDrbConfig(duration_s=scaled_duration(6.0))
+
+    def run():
+        return run_fig16(config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+    assert {row["strategy"] for row in rows} == set(SHARED_DRB_STRATEGIES)
+    coupled = next(r for r in rows if r["strategy"] == "l4span")
+    # The coupled strategy must keep both flows alive on the shared bearer.
+    assert coupled["l4s_tput_mbps"] > 0
+    assert coupled["classic_tput_mbps"] > 0

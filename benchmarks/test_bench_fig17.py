@@ -1,0 +1,24 @@
+"""Benchmark regenerating Fig. 17 (RLC queue-length CDFs under L4Span)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_rows, scaled_duration, scaled_ues
+from repro.experiments.fig17_queue_cdf import QueueCdfConfig, run_fig17
+
+
+def test_fig17_queue_cdf(benchmark):
+    config = QueueCdfConfig(cc_names=("prague", "cubic"),
+                            channels=("static", "mobile"),
+                            num_ues=scaled_ues(4),
+                            duration_s=scaled_duration(4.0))
+
+    def run():
+        return run_fig17(config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, [{k: v for k, v in row.items() if k != "queue_cdf"}
+                            for row in rows])
+    prague_static = next(r for r in rows if r["cc"] == "prague"
+                         and r["channel"] == "static")
+    # L4S queues stay small under L4Span (paper: low occupancy, ultra-low delay).
+    assert prague_static["queue_summary"]["p90"] < 200

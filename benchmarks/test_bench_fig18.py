@@ -1,0 +1,19 @@
+"""Benchmark regenerating Fig. 18 (channel-stable-period CDFs)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_rows, scaled_duration
+from repro.experiments.fig18_coherence import CoherenceConfig, run_fig18
+
+
+def test_fig18_channel_stability(benchmark):
+    config = CoherenceConfig(duration_s=scaled_duration(30.0))
+
+    def run():
+        return run_fig18(config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, [{k: v for k, v in row.items() if k != "period_cdf"}
+                            for row in rows])
+    # The paper's claim: >90% of stable periods exceed the estimation window.
+    assert all(row["fraction_above_window"] > 0.9 for row in rows)

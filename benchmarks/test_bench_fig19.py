@@ -1,0 +1,23 @@
+"""Benchmark regenerating Fig. 19 (sojourn-threshold sweep)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_rows, scaled_duration
+from repro.experiments.fig19_threshold import ThresholdSweepConfig, run_fig19
+
+
+def test_fig19_threshold_sweep(benchmark):
+    config = ThresholdSweepConfig(thresholds_ms=(1.0, 5.0, 10.0, 50.0, 100.0),
+                                  duration_s=scaled_duration(5.0))
+
+    def run():
+        return run_fig19(config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, rows)
+    by_threshold = {row["threshold_ms"]: row for row in rows}
+    # RTT grows with the threshold; throughput does not keep improving past
+    # the paper's 10 ms choice.
+    assert by_threshold[1.0]["rtt_mean_ms"] <= by_threshold[100.0]["rtt_mean_ms"]
+    assert by_threshold[100.0]["rate_sum_mbps"] <= \
+        by_threshold[10.0]["rate_sum_mbps"] * 1.35

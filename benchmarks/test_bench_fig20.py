@@ -1,0 +1,23 @@
+"""Benchmark regenerating Fig. 20 (egress-rate estimation error CDFs)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_rows, scaled_duration, scaled_ues
+from repro.experiments.fig20_rate_error import RateErrorConfig, run_fig20
+
+
+def test_fig20_rate_estimation_error(benchmark):
+    config = RateErrorConfig(channels=("static", "pedestrian", "vehicular"),
+                             num_ues=scaled_ues(4),
+                             duration_s=scaled_duration(4.0))
+
+    def run():
+        return run_fig20(config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, [{k: v for k, v in row.items() if k != "error_cdf"}
+                            for row in rows])
+    # Errors centre near zero across channel conditions (paper: "most of the
+    # time the errors are near 0%").
+    for row in rows:
+        assert abs(row["error_summary"]["median"]) < 40.0

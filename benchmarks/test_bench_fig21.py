@@ -1,0 +1,23 @@
+"""Benchmark regenerating Fig. 21 (L4Span per-event processing time)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_rows, scaled_duration, scaled_ues
+from repro.experiments.fig21_processing import ProcessingConfig, run_fig21
+
+
+def test_fig21_processing_time(benchmark):
+    config = ProcessingConfig(num_ues=scaled_ues(4),
+                              duration_s=scaled_duration(3.0))
+
+    def run():
+        return run_fig21(config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    attach_rows(benchmark, [{k: v for k, v in row.items()
+                             if k not in ("cdf", "summary")} for row in rows])
+    assert {row["event"] for row in rows} == {"downlink", "uplink", "feedback"}
+    # Every handler type was exercised and completes in bounded time.
+    for row in rows:
+        assert row["count"] > 0
+        assert row["median_us"] < 10_000

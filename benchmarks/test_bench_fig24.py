@@ -1,0 +1,24 @@
+"""Benchmark regenerating Fig. 24 (appendix sweep: BBR and Reno)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_rows, scaled_duration, scaled_ues
+from repro.experiments.fig09_tcp_sweep import (SweepConfig, improvement_table,
+                                               run_fig24)
+
+
+def test_fig24_appendix_sweep(benchmark):
+    config = SweepConfig(channels=("static", "mobile"),
+                         ue_counts=(scaled_ues(4),),
+                         duration_s=scaled_duration(4.0))
+
+    def run():
+        return run_fig24(config)
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [cell.as_row() for cell in cells]
+    improvements = improvement_table(cells)
+    attach_rows(benchmark, rows, improvements=improvements)
+    # Reno benefits strongly from L4Span; BBR's median barely changes.
+    reno = [row for row in improvements if row["cc"] == "reno"]
+    assert reno and all(row["owd_reduction_pct"] > 50 for row in reno)

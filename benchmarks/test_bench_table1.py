@@ -1,0 +1,23 @@
+"""Benchmark regenerating Table 1 (CPU / memory overhead of L4Span)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_rows, scaled_duration, scaled_ues
+from repro.experiments.table1_overhead import (OverheadConfig, overhead_summary,
+                                               run_table1)
+
+
+def test_table1_overhead(benchmark):
+    config = OverheadConfig(busy_ues=scaled_ues(4),
+                            duration_s=scaled_duration(2.0))
+
+    def run():
+        return run_table1(config)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = overhead_summary(rows)
+    attach_rows(benchmark, rows, summary=summary)
+    busy = next(row for row in summary if row["state"] == "busy")
+    # L4Span's own handlers are a small share of the total work, mirroring the
+    # paper's <2% CPU overhead on srsRAN.
+    assert busy["handler_share_pct"] < 50.0

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""A busy cell: many UEs downloading concurrently with different TCPs.
+
+Reproduces a scaled-down slice of the paper's Fig. 9: several UEs run
+concurrent bulk downloads with Prague, BBRv2 or CUBIC over a static or mobile
+channel, with and without L4Span, and the per-UE one-way delay and throughput
+are reported.
+
+Run with::
+
+    python examples/busy_cell_tcp.py [num_ues] [duration_s]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.fig09_tcp_sweep import SweepConfig, improvement_table, run_fig9
+from repro.experiments.report import format_table
+
+
+def main() -> None:
+    num_ues = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    duration = float(sys.argv[2]) if len(sys.argv) > 2 else 5.0
+    config = SweepConfig(cc_names=("prague", "cubic"),
+                         channels=("static", "mobile"),
+                         ue_counts=(num_ues,), duration_s=duration)
+    cells = run_fig9(config)
+    rows = [cell.as_row() for cell in cells]
+    print(f"Concurrent downloads, {num_ues} UEs, {duration:.0f} s per run\n")
+    print(format_table(rows, columns=["cc", "channel", "l4span",
+                                      "owd_median_ms", "owd_p90_ms",
+                                      "per_ue_tput_median_mbps"]))
+    print("\nL4Span improvement per configuration:\n")
+    print(format_table(improvement_table(cells)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can also be installed in environments without PEP 660 support
+(``pip install -e . --no-use-pep517``) or without network access for build
+isolation.
+"""
+
+from setuptools import setup
+
+setup()

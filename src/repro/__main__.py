@@ -1,0 +1,95 @@
+"""Command-line entry point: ``python -m repro <experiment> [options]``.
+
+Runs one of the paper-figure harnesses (or a single ad-hoc scenario) and
+prints its rows as a text table.  This is a convenience wrapper around the
+same functions the benchmarks call; see ``--help`` for the available
+experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.report import format_table
+
+
+def _run_scenario_command(args: argparse.Namespace) -> int:
+    from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+    result = run_scenario(ScenarioConfig(
+        num_ues=args.ues, duration_s=args.duration, cc_name=args.cc,
+        marker=args.marker, channel_profile=args.channel, seed=args.seed))
+    print(format_table([result.summary()]))
+    return 0
+
+
+_EXPERIMENTS = {
+    "fig2": ("repro.experiments.fig02_motivation", "run_fig2", "rows"),
+    "fig9": ("repro.experiments.fig09_tcp_sweep", "run_fig9", "as_row"),
+    "fig10": ("repro.experiments.fig10_breakdown", "run_fig10", None),
+    "fig11": ("repro.experiments.fig11_short_flows", "run_fig11", None),
+    "fig12": ("repro.experiments.fig12_tcran", "run_fig12", None),
+    "fig13": ("repro.experiments.fig13_interactive", "run_fig13", None),
+    "fig15": ("repro.experiments.fig15_shortcircuit", "run_fig15", None),
+    "fig16": ("repro.experiments.fig16_shared_drb", "run_fig16", None),
+    "fig17": ("repro.experiments.fig17_queue_cdf", "run_fig17", None),
+    "fig18": ("repro.experiments.fig18_coherence", "run_fig18", None),
+    "fig19": ("repro.experiments.fig19_threshold", "run_fig19", None),
+    "fig20": ("repro.experiments.fig20_rate_error", "run_fig20", None),
+    "fig21": ("repro.experiments.fig21_processing", "run_fig21", None),
+    "fig24": ("repro.experiments.fig09_tcp_sweep", "run_fig24", "as_row"),
+    "table1": ("repro.experiments.table1_overhead", "run_table1", None),
+}
+
+
+def _run_experiment_command(args: argparse.Namespace) -> int:
+    import importlib
+
+    module_name, function_name, row_adapter = _EXPERIMENTS[args.experiment]
+    module = importlib.import_module(module_name)
+    output = getattr(module, function_name)()
+    if row_adapter == "rows":
+        rows = output.rows()
+    elif row_adapter == "as_row":
+        rows = [cell.as_row() for cell in output]
+    else:
+        rows = output
+    drop = {"rtt_cdf", "queue_cdf", "error_cdf", "period_cdf", "cdf", "summary",
+            "error_summary", "queue_summary"}
+    printable = [{k: v for k, v in row.items() if k not in drop}
+                 for row in rows]
+    print(format_table(printable))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to the requested command."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="L4Span reproduction experiment runner")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    scenario = subparsers.add_parser(
+        "scenario", help="run a single ad-hoc scenario and print its summary")
+    scenario.add_argument("--ues", type=int, default=4)
+    scenario.add_argument("--duration", type=float, default=5.0)
+    scenario.add_argument("--cc", default="prague")
+    scenario.add_argument("--marker", default="l4span",
+                          choices=["none", "l4span", "tcran", "ran_dualpi2"])
+    scenario.add_argument("--channel", default="static",
+                          choices=["static", "pedestrian", "vehicular",
+                                   "mobile"])
+    scenario.add_argument("--seed", type=int, default=1)
+    scenario.set_defaults(handler=_run_scenario_command)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's figures/tables")
+    experiment.add_argument("experiment", choices=sorted(_EXPERIMENTS))
+    experiment.set_defaults(handler=_run_experiment_command)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

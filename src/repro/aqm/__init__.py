@@ -1,0 +1,28 @@
+"""Active queue management algorithms.
+
+``repro.aqm`` contains the wired-network AQMs the paper uses as context and
+baselines:
+
+* :class:`~repro.aqm.codel.CoDel` and :class:`~repro.aqm.codel.EcnCoDel` --
+  the qdiscs TC-RAN deploys between SDAP and PDCP.
+* :class:`~repro.aqm.dualpi2.DualPi2Router` -- the dual-queue coupled AQM
+  (RFC 9332) deployed by wired L4S routers, used in the motivation experiment.
+* :class:`~repro.aqm.step.StepMarker` -- mark-all-above-threshold, the
+  "DualPi2 with a sojourn threshold" strategy that §6.3.1 shows is unsuitable
+  for the RAN.
+"""
+
+from repro.aqm.base import AQMHooks, PassthroughAQM
+from repro.aqm.codel import CoDel, EcnCoDel
+from repro.aqm.dualpi2 import DualPi2Core, DualPi2Router
+from repro.aqm.step import StepMarker
+
+__all__ = [
+    "AQMHooks",
+    "PassthroughAQM",
+    "CoDel",
+    "EcnCoDel",
+    "DualPi2Core",
+    "DualPi2Router",
+    "StepMarker",
+]

@@ -1,0 +1,64 @@
+"""The AQM hook interface used by :class:`repro.net.link.Link`.
+
+An AQM object sees every packet twice:
+
+* ``on_enqueue(packet, queue, now)`` before the packet joins the buffer --
+  returning ``False`` drops it (tail drop / PIE-style enqueue marking).
+* ``on_dequeue(packet, queue, now)`` when the packet leaves the buffer --
+  returning ``False`` drops it (CoDel-style head drop); the hook may also
+  CE-mark the packet in place.
+
+Returning ``None`` or ``True`` lets the packet continue unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, runtime_checkable
+
+from repro.net.packet import Packet
+from repro.net.queueing import DropTailQueue
+
+
+@runtime_checkable
+class AQMHooks(Protocol):
+    """Protocol implemented by every AQM in this package."""
+
+    def on_enqueue(self, packet: Packet, queue: DropTailQueue,
+                   now: float) -> Optional[bool]:
+        """Called before enqueue; return False to drop."""
+        ...
+
+    def on_dequeue(self, packet: Packet, queue: DropTailQueue,
+                   now: float) -> Optional[bool]:
+        """Called at dequeue; return False to drop; may mark in place."""
+        ...
+
+
+class PassthroughAQM:
+    """An AQM that never marks or drops; useful as a default and in tests."""
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.dequeued = 0
+
+    def on_enqueue(self, packet: Packet, queue: DropTailQueue,
+                   now: float) -> Optional[bool]:
+        self.enqueued += 1
+        return True
+
+    def on_dequeue(self, packet: Packet, queue: DropTailQueue,
+                   now: float) -> Optional[bool]:
+        self.dequeued += 1
+        return True
+
+
+def sojourn_time(packet: Packet, now: float) -> float:
+    """Time the packet has spent queued at the current hop.
+
+    Falls back to zero when the enqueue stamp is missing (e.g. a packet
+    injected directly into a dequeue path by a test).
+    """
+    enqueue = packet.timestamps.get("link_enqueue")
+    if enqueue is None:
+        return 0.0
+    return max(0.0, now - enqueue)

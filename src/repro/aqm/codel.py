@@ -1,0 +1,107 @@
+"""CoDel and ECN-CoDel (RFC 8289), the algorithms behind the TC-RAN baseline.
+
+CoDel tracks the packet sojourn time at dequeue.  When the sojourn time has
+stayed above ``target`` for at least ``interval``, the queue enters the
+*dropping state* and drops (or, for ECN-CoDel, CE-marks) the head packet; the
+next drop is scheduled ``interval / sqrt(count)`` later, so the drop rate
+increases steadily until the standing queue dissolves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.aqm.base import sojourn_time
+from repro.net.packet import Packet
+from repro.net.queueing import DropTailQueue
+from repro.units import ms
+
+
+class CoDel:
+    """Controlled-delay AQM.
+
+    Args:
+        target: acceptable standing sojourn time (default 5 ms).
+        interval: sliding window over which the minimum sojourn is evaluated
+            (default 100 ms).
+        ecn: when True, CE-mark ECN-capable packets instead of dropping them.
+    """
+
+    def __init__(self, target: float = ms(5), interval: float = ms(100),
+                 ecn: bool = False, name: str = "codel") -> None:
+        self.target = target
+        self.interval = interval
+        self.ecn = ecn
+        self.name = name
+        self.first_above_time: Optional[float] = None
+        self.dropping = False
+        self.drop_next = 0.0
+        self.count = 0
+        self.last_count = 0
+        self.marked = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------ #
+    def on_enqueue(self, packet: Packet, queue: DropTailQueue,
+                   now: float) -> Optional[bool]:
+        return True
+
+    # ------------------------------------------------------------------ #
+    def _control_law(self, reference: float) -> float:
+        return reference + self.interval / math.sqrt(max(1, self.count))
+
+    def _should_act(self, packet: Packet, queue: DropTailQueue,
+                    now: float) -> bool:
+        delay = sojourn_time(packet, now)
+        if delay < self.target or queue.bytes < 2 * packet.size:
+            self.first_above_time = None
+            return False
+        if self.first_above_time is None:
+            self.first_above_time = now + self.interval
+            return False
+        return now >= self.first_above_time
+
+    def _act(self, packet: Packet) -> bool:
+        """Mark or drop ``packet``; return True when it may still be forwarded."""
+        if self.ecn and packet.mark_ce(by=self.name):
+            self.marked += 1
+            return True
+        self.dropped += 1
+        return False
+
+    def on_dequeue(self, packet: Packet, queue: DropTailQueue,
+                   now: float) -> Optional[bool]:
+        act_now = self._should_act(packet, queue, now)
+        if self.dropping:
+            if not act_now:
+                self.dropping = False
+            elif now >= self.drop_next:
+                keep = self._act(packet)
+                self.count += 1
+                self.drop_next = self._control_law(self.drop_next)
+                return keep
+        elif act_now:
+            self.dropping = True
+            # Restart close to the previous rate if we were dropping recently.
+            if self.count > 2 and now - self.drop_next < 8 * self.interval:
+                self.count -= 2
+            else:
+                self.count = 1
+            self.last_count = self.count
+            keep = self._act(packet)
+            self.drop_next = self._control_law(now)
+            return keep
+        return True
+
+
+class EcnCoDel(CoDel):
+    """CoDel that marks ECN-capable packets instead of dropping them.
+
+    This is the configuration TC-RAN uses for L4S traffic; CUBIC traffic goes
+    through plain (dropping) CoDel.
+    """
+
+    def __init__(self, target: float = ms(5), interval: float = ms(100),
+                 name: str = "ecn-codel") -> None:
+        super().__init__(target=target, interval=interval, ecn=True, name=name)

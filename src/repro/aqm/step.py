@@ -1,0 +1,45 @@
+"""Step-threshold marking: CE-mark every packet whose sojourn exceeds a threshold.
+
+This is the L4S-queue behaviour of DualPi2 in wired routers (1 ms default
+threshold) and the "DualPi2 + 10 ms threshold" strategy the paper evaluates in
+§6.3.1 to show that a hard threshold under-utilises a volatile wireless link.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.aqm.base import sojourn_time
+from repro.net.packet import Packet
+from repro.net.queueing import DropTailQueue
+from repro.units import ms
+
+
+class StepMarker:
+    """Mark all ECN-capable packets when the queue's sojourn time exceeds ``threshold``."""
+
+    def __init__(self, threshold: float = ms(1), name: str = "step") -> None:
+        self.threshold = threshold
+        self.name = name
+        self.marked = 0
+        self.seen = 0
+
+    def on_enqueue(self, packet: Packet, queue: DropTailQueue,
+                   now: float) -> Optional[bool]:
+        return True
+
+    def on_dequeue(self, packet: Packet, queue: DropTailQueue,
+                   now: float) -> Optional[bool]:
+        self.seen += 1
+        if sojourn_time(packet, now) > self.threshold:
+            if packet.mark_ce(by=self.name):
+                self.marked += 1
+        return True
+
+    def mark_probability(self, estimated_sojourn: float) -> float:
+        """Step function of the estimated sojourn time (0 or 1).
+
+        Exposed so the in-RAN baselines can reuse the same decision rule on a
+        *predicted* sojourn time instead of a measured one.
+        """
+        return 1.0 if estimated_sojourn > self.threshold else 0.0

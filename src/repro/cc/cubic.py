@@ -1,0 +1,92 @@
+"""CUBIC (RFC 9438): the dominant classic loss/ECN-based TCP.
+
+CUBIC reacts to a congestion signal (packet loss or a classic-ECN echo) by
+cutting the window to ``beta * cwnd`` and then grows it along the cubic
+function ``W(t) = C (t - K)^3 + W_max``.  It treats CE feedback exactly like
+loss, which is why L4Span must not aim for a shallow queue for classic flows
+(paper §4.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cc.base import WindowSender
+from repro.net.ecn import ECN
+
+
+class CubicSender(WindowSender):
+    """Classic-ECN CUBIC sender."""
+
+    name = "cubic"
+    ect_codepoint = ECN.ECT0
+    uses_accecn = False
+
+    BETA = 0.7
+    C = 0.4  # MSS per second^3, the standard CUBIC constant
+    ENABLE_HYSTART = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.w_max = 0.0
+        self._epoch_start: Optional[float] = None
+        self._k = 0.0
+        self._ce_reaction_until = 0.0
+
+    # ------------------------------------------------------------------ #
+    def _enter_congestion_avoidance(self, w_max_segments: float) -> None:
+        self.w_max = w_max_segments
+        self._epoch_start = None
+
+    def _cubic_target(self, now: float) -> float:
+        """Target window in segments according to the cubic function."""
+        if self._epoch_start is None:
+            self._epoch_start = now
+            current_segments = self.cwnd / self.mss
+            wmax = max(self.w_max, current_segments)
+            self._k = ((wmax * (1.0 - self.BETA)) / self.C) ** (1.0 / 3.0)
+        t = now - self._epoch_start
+        wmax = max(self.w_max, self.MIN_CWND_SEGMENTS)
+        return self.C * (t - self._k) ** 3 + wmax
+
+    # ------------------------------------------------------------------ #
+    def on_ack(self, newly_acked: int, ce_bytes: int, ce_seen: bool,
+               rtt_sample: Optional[float]) -> None:
+        now = self._sim.now
+        if ce_seen and now >= self._ce_reaction_until:
+            self._congestion_response()
+            return
+        if newly_acked <= 0:
+            return
+        if self.cwnd < self.ssthresh:
+            self.cwnd += newly_acked
+            return
+        target_segments = self._cubic_target(now)
+        current_segments = self.cwnd / self.mss
+        if target_segments > current_segments:
+            increment = (target_segments - current_segments) / current_segments
+            self.cwnd += increment * self.mss * (newly_acked / self.mss)
+        else:
+            # TCP-friendly region: at least Reno's growth.
+            self.cwnd += 0.2 * self.mss * newly_acked / self.cwnd
+
+    def _congestion_response(self) -> None:
+        """React to an ECN congestion-experienced echo (once per RTT)."""
+        self.stats.congestion_events += 1
+        self._enter_congestion_avoidance(self.cwnd / self.mss)
+        self.cwnd = max(self.cwnd * self.BETA,
+                        self.MIN_CWND_SEGMENTS * self.mss)
+        self.ssthresh = self.cwnd
+        self.signal_cwr()
+        rtt = self.srtt if self.srtt is not None else 0.05
+        self._ce_reaction_until = self._sim.now + rtt
+
+    def on_loss(self) -> None:
+        self.stats.congestion_events += 1
+        self._enter_congestion_avoidance(self.cwnd / self.mss)
+        self.cwnd = max(self.cwnd * self.BETA,
+                        self.MIN_CWND_SEGMENTS * self.mss)
+        self.ssthresh = self.cwnd
+
+    def on_timeout(self) -> None:
+        self._enter_congestion_avoidance(self.cwnd / self.mss)

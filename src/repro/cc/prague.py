@@ -1,0 +1,67 @@
+"""TCP Prague: the reference L4S scalable congestion controller.
+
+Prague keeps a DCTCP-style EWMA ``alpha`` of the fraction of bytes marked CE
+per round trip and, on rounds that saw any CE feedback, applies one
+multiplicative decrease ``cwnd <- cwnd * (1 - alpha / 2)`` while continuing
+additive increase on every acknowledgement (paper §2).  The result is the
+shallow sawtooth around the marking threshold that L4Span relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cc.base import WindowSender
+from repro.net.ecn import ECN
+
+
+class PragueSender(WindowSender):
+    """L4S sender with AccECN feedback and scalable window response."""
+
+    name = "prague"
+    ect_codepoint = ECN.ECT1
+    uses_accecn = True
+
+    #: EWMA gain for the marking-fraction estimate (DCTCP's g).
+    ALPHA_GAIN = 1.0 / 16.0
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.alpha = 0.0
+        self._round_acked_bytes = 0
+        self._round_ce_bytes = 0
+        self._md_applied_this_round = False
+
+    # ------------------------------------------------------------------ #
+    def on_ack(self, newly_acked: int, ce_bytes: int, ce_seen: bool,
+               rtt_sample: Optional[float]) -> None:
+        self._round_acked_bytes += newly_acked
+        self._round_ce_bytes += ce_bytes
+        if newly_acked <= 0:
+            return
+        if self.cwnd < self.ssthresh and not ce_seen:
+            # Slow start: grow by the acknowledged bytes.
+            self.cwnd += newly_acked
+            return
+        # Additive increase of one MSS per RTT, resumed immediately after MD.
+        self.cwnd += self.mss * newly_acked / self.cwnd
+
+    def on_round_end(self) -> None:
+        acked = max(self._round_acked_bytes, 1)
+        fraction = min(1.0, self._round_ce_bytes / acked)
+        self.alpha = ((1.0 - self.ALPHA_GAIN) * self.alpha
+                      + self.ALPHA_GAIN * fraction)
+        if self._round_ce_bytes > 0:
+            self.stats.congestion_events += 1
+            self.ssthresh = max(self.cwnd * (1.0 - self.alpha / 2.0),
+                                self.MIN_CWND_SEGMENTS * self.mss)
+            self.cwnd = self.ssthresh
+        self._round_acked_bytes = 0
+        self._round_ce_bytes = 0
+
+    def on_loss(self) -> None:
+        self.ssthresh = max(self.cwnd / 2.0, self.MIN_CWND_SEGMENTS * self.mss)
+        self.cwnd = self.ssthresh
+
+    def on_timeout(self) -> None:
+        self.alpha = 1.0

@@ -1,0 +1,51 @@
+"""TCP Reno / NewReno: the textbook AIMD classic controller (Appendix B)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cc.base import WindowSender
+from repro.net.ecn import ECN
+
+
+class RenoSender(WindowSender):
+    """Classic-ECN Reno sender: AI of one MSS per RTT, MD of one half."""
+
+    name = "reno"
+    ect_codepoint = ECN.ECT0
+    uses_accecn = False
+
+    BETA = 0.5
+    ENABLE_HYSTART = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._ce_reaction_until = 0.0
+
+    def on_ack(self, newly_acked: int, ce_bytes: int, ce_seen: bool,
+               rtt_sample: Optional[float]) -> None:
+        now = self._sim.now
+        if ce_seen and now >= self._ce_reaction_until:
+            self._congestion_response()
+            return
+        if newly_acked <= 0:
+            return
+        if self.cwnd < self.ssthresh:
+            self.cwnd += newly_acked
+        else:
+            self.cwnd += self.mss * newly_acked / self.cwnd
+
+    def _congestion_response(self) -> None:
+        self.stats.congestion_events += 1
+        self.cwnd = max(self.cwnd * self.BETA,
+                        self.MIN_CWND_SEGMENTS * self.mss)
+        self.ssthresh = self.cwnd
+        self.signal_cwr()
+        rtt = self.srtt if self.srtt is not None else 0.05
+        self._ce_reaction_until = self._sim.now + rtt
+
+    def on_loss(self) -> None:
+        self.stats.congestion_events += 1
+        self.cwnd = max(self.cwnd * self.BETA,
+                        self.MIN_CWND_SEGMENTS * self.mss)
+        self.ssthresh = self.cwnd

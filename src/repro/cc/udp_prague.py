@@ -1,0 +1,83 @@
+"""UDP Prague: the L4S reference rate-based controller for interactive apps.
+
+The receiver echoes its running CE/ECT byte counters inside the UDP payload
+of every feedback datagram; the sender differences them per round trip and
+applies the Prague law to its sending *rate*: one multiplicative decrease
+``rate <- rate * (1 - alpha / 2)`` per congested round, additive increase
+otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cc.base import RateSender
+from repro.net.ecn import ECN
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.units import mbps
+
+
+class UdpPragueSender(RateSender):
+    """Rate-based Prague over UDP."""
+
+    name = "udp_prague"
+    ect_codepoint = ECN.ECT1
+    uses_accecn = True
+
+    ALPHA_GAIN = 1.0 / 16.0
+
+    def __init__(self, sim: Simulator, flow_id: int, five_tuple, path,
+                 mss: int = 1200, flow_bytes: Optional[int] = None,
+                 initial_rate: float = mbps(1.0),
+                 min_rate: float = mbps(0.15),
+                 max_rate: float = mbps(20.0)) -> None:
+        super().__init__(sim, flow_id, five_tuple, path, mss=mss,
+                         flow_bytes=flow_bytes, initial_rate=initial_rate,
+                         min_rate=min_rate, max_rate=max_rate, protocol="udp")
+        self.alpha = 0.0
+        self._last_ce_bytes = 0
+        self._last_acked_bytes = 0
+        self._round_start = 0.0
+        self._round_ce = 0
+        self._round_acked = 0
+        self._srtt: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    def _decorate_packet(self, packet: Packet) -> None:
+        packet.payload_info["app"] = "udp_prague"
+
+    def receive(self, packet: Packet) -> None:
+        if not packet.is_ack or not self.running:
+            return
+        now = self._sim.now
+        if "data_sent_time" in packet.payload_info:
+            rtt = now - packet.payload_info["data_sent_time"]
+            self._record_rtt(rtt)
+            self._srtt = rtt if self._srtt is None else (
+                0.875 * self._srtt + 0.125 * rtt)
+        ce_bytes = packet.accecn.ce_bytes if packet.accecn is not None else 0
+        acked = packet.ack_seq
+        self._round_ce += max(0, ce_bytes - self._last_ce_bytes)
+        self._round_acked += max(0, acked - self._last_acked_bytes)
+        self._last_ce_bytes = max(self._last_ce_bytes, ce_bytes)
+        self._last_acked_bytes = max(self._last_acked_bytes, acked)
+        self.stats.acked_bytes = self._last_acked_bytes
+        rtt_estimate = self._srtt if self._srtt is not None else 0.05
+        if now - self._round_start >= rtt_estimate:
+            self._end_round(rtt_estimate)
+            self._round_start = now
+
+    def _end_round(self, rtt: float) -> None:
+        acked = max(self._round_acked, 1)
+        fraction = min(1.0, self._round_ce / acked)
+        self.alpha = ((1.0 - self.ALPHA_GAIN) * self.alpha
+                      + self.ALPHA_GAIN * fraction)
+        if self._round_ce > 0:
+            self.stats.congestion_events += 1
+            self.set_rate(self.rate * (1.0 - self.alpha / 2.0))
+        else:
+            # Additive increase of one MSS per RTT, expressed as a rate.
+            self.set_rate(self.rate + self.mss / max(rtt, 1e-3))
+        self._round_ce = 0
+        self._round_acked = 0

@@ -1,0 +1,44 @@
+"""Radio channel models.
+
+The RAN scheduler asks a per-UE channel model for the current link quality
+(CQI / spectral efficiency); everything L4Span observes about the wireless
+medium flows through that single number and its variation over time.  The
+package provides:
+
+* :class:`~repro.channel.static.StaticChannel` -- constant quality with
+  optional small noise ("Static" in the paper's figures).
+* :class:`~repro.channel.fading.FadingChannel` -- a Gauss-Markov SNR process
+  whose correlation matches the coherence time of a moving UE (pedestrian and
+  vehicular conditions; "Mobile" combines the two).
+* :class:`~repro.channel.trace.TraceChannel` -- plays back a recorded CQI/MCS
+  trace.
+* :mod:`repro.channel.mcs` -- CQI/MCS tables mapping SNR to spectral
+  efficiency.
+* :mod:`repro.channel.coherence` -- the "channel stable period" analysis of
+  Fig. 18 (periods over which the MCS index deviates by at most 5).
+"""
+
+from repro.channel.base import ChannelModel, ChannelSample
+from repro.channel.static import StaticChannel
+from repro.channel.fading import FadingChannel, coherence_time_for_speed
+from repro.channel.trace import TraceChannel
+from repro.channel.mcs import (CQI_TABLE, MCS_TABLE, cqi_from_snr,
+                               efficiency_from_cqi, mcs_from_snr)
+from repro.channel.coherence import stable_periods
+from repro.channel.profiles import make_channel
+
+__all__ = [
+    "ChannelModel",
+    "ChannelSample",
+    "StaticChannel",
+    "FadingChannel",
+    "TraceChannel",
+    "coherence_time_for_speed",
+    "CQI_TABLE",
+    "MCS_TABLE",
+    "cqi_from_snr",
+    "efficiency_from_cqi",
+    "mcs_from_snr",
+    "stable_periods",
+    "make_channel",
+]

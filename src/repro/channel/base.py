@@ -1,0 +1,59 @@
+"""Channel model interface.
+
+A channel model answers one question for the MAC scheduler: *what link
+quality does this UE see right now?*  The answer is a :class:`ChannelSample`
+containing the SNR, the derived CQI/MCS and the spectral efficiency in bits
+per resource element.  Models advance lazily -- :meth:`ChannelModel.sample`
+takes the current time, so only UEs that are actually scheduled pay the cost
+of updating their fading process.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.channel.mcs import cqi_from_snr, efficiency_from_snr, mcs_from_snr
+
+
+@dataclass(frozen=True)
+class ChannelSample:
+    """Instantaneous link quality for one UE."""
+
+    time: float
+    snr_db: float
+    cqi: int
+    mcs: int
+    efficiency: float  # bits per resource element
+
+    @staticmethod
+    def from_snr(time: float, snr_db: float) -> "ChannelSample":
+        """Build a sample by running ``snr_db`` through the CQI/MCS tables."""
+        return ChannelSample(time=time, snr_db=snr_db,
+                             cqi=cqi_from_snr(snr_db),
+                             mcs=mcs_from_snr(snr_db),
+                             efficiency=efficiency_from_snr(snr_db))
+
+
+class ChannelModel(abc.ABC):
+    """Base class for per-UE channel processes."""
+
+    #: Coherence time of the process (seconds); ``inf`` for a static channel.
+    coherence_time: float = float("inf")
+
+    @abc.abstractmethod
+    def sample(self, now: float) -> ChannelSample:
+        """Return the link quality at simulation time ``now``."""
+
+    def efficiency(self, now: float) -> float:
+        """Shortcut for ``sample(now).efficiency``."""
+        return self.sample(now).efficiency
+
+    def mcs_trace(self, duration: float, step: float) -> list[tuple[float, int]]:
+        """Sample the MCS index on a regular grid; used by the Fig. 18 analysis."""
+        samples = []
+        steps = int(duration / step)
+        for i in range(steps):
+            t = i * step
+            samples.append((t, self.sample(t).mcs))
+        return samples

@@ -1,0 +1,103 @@
+"""CQI and MCS tables: mapping link quality to spectral efficiency.
+
+The tables follow 3GPP TS 38.214 (CQI table 2 and the 256-QAM MCS table) in
+shape; entries are (modulation order, code rate, spectral efficiency in
+bits per resource element).  The simulator only needs the efficiency column,
+but the MCS index itself is exposed because Fig. 18's channel-stability
+analysis is defined in terms of MCS-index deviation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class McsEntry:
+    """One row of an MCS/CQI table."""
+
+    index: int
+    modulation_bits: int
+    code_rate: float
+    efficiency: float  # bits per resource element
+
+
+#: 3GPP 15-entry CQI table (table 2, up to 256-QAM).  Index 0 means out of range.
+CQI_TABLE: tuple[McsEntry, ...] = (
+    McsEntry(0, 0, 0.0, 0.0),
+    McsEntry(1, 2, 0.0762, 0.1523),
+    McsEntry(2, 2, 0.1885, 0.3770),
+    McsEntry(3, 2, 0.4385, 0.8770),
+    McsEntry(4, 4, 0.3691, 1.4766),
+    McsEntry(5, 4, 0.4785, 1.9141),
+    McsEntry(6, 4, 0.6016, 2.4063),
+    McsEntry(7, 6, 0.4551, 2.7305),
+    McsEntry(8, 6, 0.5537, 3.3223),
+    McsEntry(9, 6, 0.6504, 3.9023),
+    McsEntry(10, 8, 0.5537, 4.4297),
+    McsEntry(11, 8, 0.6504, 5.1152),
+    McsEntry(12, 8, 0.7539, 6.0293),
+    McsEntry(13, 8, 0.8525, 6.8164),
+    McsEntry(14, 8, 0.9258, 7.4063),
+    McsEntry(15, 8, 0.9480, 7.5840),
+)
+
+#: 29-entry MCS table (256-QAM) with efficiencies interpolated between CQI rows.
+MCS_TABLE: tuple[McsEntry, ...] = tuple(
+    McsEntry(i, CQI_TABLE[min(15, 1 + i // 2)].modulation_bits,
+             CQI_TABLE[min(15, 1 + i // 2)].code_rate,
+             round(0.2344 + i * (7.4063 - 0.2344) / 27, 4))
+    for i in range(28)
+)
+
+#: SNR (dB) thresholds at which each CQI index becomes usable.  Roughly the
+#: standard AWGN switching points; exact values only shift absolute rates.
+_CQI_SNR_THRESHOLDS_DB: tuple[float, ...] = (
+    -9999.0, -6.7, -4.7, -2.3, 0.2, 2.4, 4.3, 5.9, 8.1, 10.3,
+    11.7, 14.1, 16.3, 18.7, 21.0, 22.7,
+)
+
+
+def cqi_from_snr(snr_db: float) -> int:
+    """Map an SNR in dB to the highest CQI index whose threshold it meets."""
+    index = bisect_right(_CQI_SNR_THRESHOLDS_DB, snr_db) - 1
+    return max(0, min(15, index))
+
+
+def efficiency_from_cqi(cqi: int) -> float:
+    """Spectral efficiency (bits per resource element) of a CQI index."""
+    cqi = max(0, min(15, int(cqi)))
+    return CQI_TABLE[cqi].efficiency
+
+
+def efficiency_from_snr(snr_db: float) -> float:
+    """Spectral efficiency for an SNR, via the CQI table."""
+    return efficiency_from_cqi(cqi_from_snr(snr_db))
+
+
+def mcs_from_snr(snr_db: float) -> int:
+    """Map SNR to an MCS index in the 0..27 range (roughly 2 MCS per CQI)."""
+    cqi = cqi_from_snr(snr_db)
+    if cqi <= 0:
+        return 0
+    return min(27, max(0, cqi * 2 - 2))
+
+
+def snr_for_cqi(cqi: int) -> float:
+    """The minimum SNR (dB) at which ``cqi`` is selected -- inverse of
+    :func:`cqi_from_snr`, useful for building test channels."""
+    cqi = max(1, min(15, int(cqi)))
+    return _CQI_SNR_THRESHOLDS_DB[cqi]
+
+
+__all__ = [
+    "McsEntry",
+    "CQI_TABLE",
+    "MCS_TABLE",
+    "cqi_from_snr",
+    "efficiency_from_cqi",
+    "efficiency_from_snr",
+    "mcs_from_snr",
+    "snr_for_cqi",
+]

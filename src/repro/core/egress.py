@@ -1,0 +1,124 @@
+"""Egress-rate estimation from F1-U transmit reports (paper Eq. 3 and 4).
+
+Whenever the RLC reports new transmissions, the estimator computes the
+*instantaneous* egress rate over the trailing ``tau_c``-long window ending at
+the newest transmit timestamp (Eq. 3), then smooths it by averaging the
+instantaneous samples inside another ``tau_c`` window (Eq. 4).  Every byte
+contributing to the smoothed estimate was therefore transmitted within
+``2 * tau_c`` -- one channel coherence time -- during which the channel is
+considered stable.  The standard deviation of the instantaneous samples in
+the window is the error estimate ``e_hat`` used by the L4S marking rule.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.core.profile_table import ProfileEntry
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """The output of one estimator update."""
+
+    timestamp: float
+    smoothed_rate: float       # r_hat_e, bytes per second
+    instantaneous_rate: float  # r^T_k, bytes per second
+    error_std: float           # e_hat, bytes per second
+    samples_in_window: int
+
+    @property
+    def is_valid(self) -> bool:
+        """True once at least one transmission has been observed."""
+        return self.samples_in_window > 0
+
+
+class EgressRateEstimator:
+    """Sliding-window dequeue-rate estimator for one bearer.
+
+    Args:
+        window: the estimation window ``tau_c / 2`` is *not* applied here --
+            the window passed in should already be the paper's
+            ``tau_c``-long averaging window (the layer passes
+            ``config.estimation_window``... see note) .
+
+    Note:
+        The paper uses a window of half the pre-set coherence time for the
+        instantaneous rate (Eq. 3) and a second window of the same length for
+        smoothing (Eq. 4); the constructor takes that single length.
+    """
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self._transmissions: deque[tuple[float, int]] = deque()
+        self._instantaneous: deque[tuple[float, float]] = deque()
+        self._last_estimate: Optional[RateEstimate] = None
+
+    # ------------------------------------------------------------------ #
+    def observe_transmissions(self, entries: Iterable[ProfileEntry]
+                              ) -> Optional[RateEstimate]:
+        """Feed newly transmitted profile entries; returns the new estimate.
+
+        Returns None when the update carried no new transmissions.
+        """
+        newest_time: Optional[float] = None
+        for entry in entries:
+            if entry.transmitted_time is None:
+                continue
+            self._transmissions.append((entry.transmitted_time, entry.size))
+            newest_time = entry.transmitted_time
+        if newest_time is None:
+            return self._last_estimate
+        return self._update(newest_time)
+
+    def _update(self, now: float) -> RateEstimate:
+        self._expire(now)
+        window_start = now - self.window
+        bytes_in_window = sum(size for t, size in self._transmissions
+                              if window_start < t <= now)
+        instantaneous = bytes_in_window / self.window
+        self._instantaneous.append((now, instantaneous))
+        while self._instantaneous and self._instantaneous[0][0] <= now - self.window:
+            self._instantaneous.popleft()
+        rates = [r for _, r in self._instantaneous]
+        smoothed = sum(rates) / len(rates)
+        if len(rates) > 1:
+            mean = smoothed
+            variance = sum((r - mean) ** 2 for r in rates) / len(rates)
+            error_std = math.sqrt(variance)
+        else:
+            error_std = 0.0
+        estimate = RateEstimate(timestamp=now, smoothed_rate=smoothed,
+                                instantaneous_rate=instantaneous,
+                                error_std=error_std,
+                                samples_in_window=len(rates))
+        self._last_estimate = estimate
+        return estimate
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - 2.0 * self.window
+        while self._transmissions and self._transmissions[0][0] <= cutoff:
+            self._transmissions.popleft()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def last_estimate(self) -> Optional[RateEstimate]:
+        """The most recent estimate, or None before any transmission."""
+        return self._last_estimate
+
+    def rate_or_default(self, default: float = 0.0) -> float:
+        """Smoothed rate of the last estimate, or ``default``."""
+        if self._last_estimate is None:
+            return default
+        return self._last_estimate.smoothed_rate
+
+    def error_std_or_default(self, default: float = 0.0) -> float:
+        """Error standard deviation of the last estimate, or ``default``."""
+        if self._last_estimate is None:
+            return default
+        return self._last_estimate.error_std

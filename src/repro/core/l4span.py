@@ -1,0 +1,291 @@
+"""The L4Span layer: RAN-aware ECN marking in the CU-UP (paper §4).
+
+``L4SpanLayer`` implements the :class:`repro.ran.marker.RanMarker` protocol
+and is attached to a :class:`repro.ran.gnb.GNodeB`.  It reacts to the three
+events of the paper's pseudocode (Appendix A):
+
+* **downlink datagram** -- classify the flow by its ECN codepoint, record the
+  packet in the per-bearer profile table, and make a marking decision using
+  the class-specific probability (Eq. 1 / Eq. 2 / the coupled rule).  For UDP
+  flows (or when short-circuiting is disabled) the mark is applied to the
+  packet's IP ECN field; for TCP flows with short-circuiting the mark is only
+  *book-kept* so it can be injected into the next uplink ACK.
+* **RAN feedback** -- update the profile table from the F1-U delivery-status
+  report, refresh the egress-rate estimate and the sojourn prediction.
+* **uplink packet** -- for TCP ACKs, rewrite the AccECN counters or the
+  ECE flag from the book-kept marks, short-circuiting the radio leg of the
+  feedback loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import L4SpanConfig
+from repro.core.egress import EgressRateEstimator
+from repro.core.flowstate import FlowRecord
+from repro.core.marking import (classic_mark_probability,
+                                coupled_l4s_probability, l4s_mark_probability)
+from repro.core.profile_table import DrbProfile
+from repro.core.sojourn import SojournPredictor, SojournPrediction
+from repro.net.addresses import FiveTuple
+from repro.net.checksum import mark_ce_with_checksum, recompute_checksums
+from repro.net.ecn import ECN, FlowClass
+from repro.net.packet import Packet
+from repro.ran.f1u import DeliveryStatus
+from repro.ran.identifiers import DrbId, DrbKey, UeId
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class DrbState:
+    """Per-bearer state kept by the layer."""
+
+    key: DrbKey
+    profile: DrbProfile
+    estimator: EgressRateEstimator
+    prediction: SojournPrediction = field(
+        default_factory=lambda: SojournPrediction(0.0, 0, 0.0, 0.0))
+    classes_seen: set = field(default_factory=set)
+    feedback_count: int = 0
+    marks_l4s: int = 0
+    marks_classic: int = 0
+
+    @property
+    def is_shared(self) -> bool:
+        """True when both L4S and classic flows map onto this bearer."""
+        return (FlowClass.L4S in self.classes_seen
+                and FlowClass.CLASSIC in self.classes_seen)
+
+
+class L4SpanLayer:
+    """The in-RAN congestion-signalling layer."""
+
+    name = "l4span"
+
+    def __init__(self, sim: Simulator, config: Optional[L4SpanConfig] = None,
+                 mss: int = 1440) -> None:
+        self._sim = sim
+        self.config = config if config is not None else L4SpanConfig()
+        self.mss = mss
+        self.predictor = SojournPredictor()
+        self._drbs: dict[DrbKey, DrbState] = {}
+        self._flows: dict[FiveTuple, FlowRecord] = {}
+        self._last_purge = 0.0
+        # Aggregate statistics.
+        self.downlink_packets = 0
+        self.uplink_packets = 0
+        self.feedback_messages = 0
+        self.marked_packets = 0
+        self.shortcircuited_acks = 0
+        # Processing-time samples (seconds) per event type, for Fig. 21.
+        self.processing_times: dict[str, list[float]] = {
+            "downlink": [], "uplink": [], "feedback": []}
+
+    # ------------------------------------------------------------------ #
+    # State accessors
+    # ------------------------------------------------------------------ #
+    def drb_state(self, ue_id: UeId, drb_id: DrbId) -> DrbState:
+        """Get or create the per-bearer state."""
+        key = DrbKey(ue_id, drb_id)
+        state = self._drbs.get(key)
+        if state is None:
+            state = DrbState(key=key,
+                             profile=DrbProfile(self.config.profile_horizon),
+                             estimator=EgressRateEstimator(
+                                 self.config.estimation_window))
+            self._drbs[key] = state
+        return state
+
+    def flow_record(self, five_tuple: FiveTuple) -> Optional[FlowRecord]:
+        """Look up the state of a flow by its downlink five-tuple."""
+        return self._flows.get(five_tuple)
+
+    @property
+    def flows(self) -> dict[FiveTuple, FlowRecord]:
+        """All flows the layer has observed."""
+        return self._flows
+
+    @property
+    def drb_states(self) -> dict[DrbKey, DrbState]:
+        """All per-bearer states."""
+        return self._drbs
+
+    # ------------------------------------------------------------------ #
+    # Event 1: downlink datagram from the 5G core
+    # ------------------------------------------------------------------ #
+    def on_downlink_packet(self, packet: Packet, ue_id: UeId, drb_id: DrbId,
+                           now: float) -> None:
+        start = time.perf_counter() if self.config.measure_processing else 0.0
+        self.downlink_packets += 1
+        state = self.drb_state(ue_id, drb_id)
+        flow = self._get_or_create_flow(packet, ue_id, drb_id, now)
+        state.classes_seen.add(flow.flow_class)
+        if packet.cwr and not flow.uses_accecn:
+            flow.ece_latched = False
+        state.profile.add_packet(packet.size, now)
+        flow.record_downlink(packet.size, now)
+        self._maybe_mark(packet, state, flow, now)
+        if now - self._last_purge > self.config.profile_horizon:
+            self._last_purge = now
+            for drb in self._drbs.values():
+                drb.profile.purge(now)
+        if self.config.measure_processing:
+            self.processing_times["downlink"].append(
+                time.perf_counter() - start)
+
+    def _get_or_create_flow(self, packet: Packet, ue_id: UeId, drb_id: DrbId,
+                            now: float) -> FlowRecord:
+        flow = self._flows.get(packet.five_tuple)
+        if flow is None:
+            flow = FlowRecord(five_tuple=packet.five_tuple, ue_id=ue_id,
+                              drb_id=drb_id, flow_class=packet.flow_class,
+                              protocol=packet.protocol,
+                              uses_accecn=packet.protocol == "tcp"
+                              and packet.flow_class == FlowClass.L4S)
+            self._flows[packet.five_tuple] = flow
+        return flow
+
+    # ------------------------------------------------------------------ #
+    # Marking decision
+    # ------------------------------------------------------------------ #
+    def mark_probability(self, state: DrbState, flow: FlowRecord) -> float:
+        """The current marking probability for a packet of ``flow`` on ``state``.
+
+        Following the paper's event structure (Appendix A), the bearer's
+        marking state is derived from the queue snapshot taken at the last
+        F1-U feedback -- i.e. right after the RLC drained what it could --
+        rather than from the instantaneous queue at packet arrival, so short
+        ACK-clocked bursts do not inflate the predicted sojourn time.
+        """
+        prediction = state.prediction
+        queued = prediction.queued_bytes
+        rate = prediction.rate
+        error = prediction.error_std
+        if flow.flow_class == FlowClass.NON_ECN and not self.config.drop_non_ecn:
+            return 0.0
+        predicted_sojourn = prediction.sojourn if rate > 0 else 0.0
+        if flow.flow_class == FlowClass.L4S:
+            if state.is_shared:
+                p_classic = self._classic_probability(state, flow,
+                                                      predicted_sojourn, rate)
+                return coupled_l4s_probability(p_classic,
+                                               self.config.classic_beta)
+            if rate <= 0:
+                return 0.0
+            return l4s_mark_probability(queued, rate, error,
+                                        self.config.sojourn_threshold)
+        return self._classic_probability(state, flow, predicted_sojourn, rate)
+
+    def _classic_probability(self, state: DrbState, flow: FlowRecord,
+                             predicted_sojourn: float, rate: float) -> float:
+        if rate <= 0:
+            return 0.0
+        # Do not press the brake while the bearer's buffer is essentially
+        # empty: the design goal for classic flows is to prevent bufferbloat
+        # *while maintaining an adequately filled buffer* (§4.2.2); marking a
+        # starved flow would only entrench the under-utilisation, because the
+        # measured egress rate of an idle bearer is its (low) arrival rate.
+        if state.prediction.queued_bytes < 2 * self.mss:
+            return 0.0
+        if flow.initial_rtt is not None:
+            rtt = flow.initial_rtt + predicted_sojourn
+        elif flow.protocol != "tcp":
+            rtt = 2.0 * max(predicted_sojourn, self.config.sojourn_threshold)
+        else:
+            # TCP flow whose handshake RTT has not been observed yet: wait for
+            # the first uplink ACK rather than guessing a too-small RTT.
+            return 0.0
+        return classic_mark_probability(self.mss, rtt, rate,
+                                        self.config.classic_beta)
+
+    def _maybe_mark(self, packet: Packet, state: DrbState, flow: FlowRecord,
+                    now: float) -> None:
+        probability = self.mark_probability(state, flow)
+        stream = f"l4span-mark-{state.key}"
+        if probability <= 0 or not self._sim.random.bernoulli(stream, probability):
+            flow.record_unmarked(packet.size)
+            return
+        self.marked_packets += 1
+        if flow.flow_class == FlowClass.L4S:
+            state.marks_l4s += 1
+        else:
+            state.marks_classic += 1
+        flow.record_mark(packet.size,
+                         ecn_capable_l4s=flow.flow_class == FlowClass.L4S)
+        apply_to_downlink = (flow.protocol != "tcp"
+                             or not self.config.enable_shortcircuit)
+        if apply_to_downlink:
+            if packet.ecn == ECN.NOT_ECT and self.config.drop_non_ecn:
+                packet.payload_info["l4span_drop"] = True
+            else:
+                mark_ce_with_checksum(packet, by=self.name)
+
+    # ------------------------------------------------------------------ #
+    # Event 2: F1-U delivery-status feedback
+    # ------------------------------------------------------------------ #
+    def on_ran_feedback(self, status: DeliveryStatus, now: float) -> None:
+        start = time.perf_counter() if self.config.measure_processing else 0.0
+        self.feedback_messages += 1
+        state = self.drb_state(status.ue_id, status.drb_id)
+        state.feedback_count += 1
+        newly = state.profile.on_feedback(status.highest_txed_sn,
+                                          status.highest_delivered_sn,
+                                          status.timestamp)
+        estimate = state.estimator.observe_transmissions(newly)
+        state.prediction = self.predictor.predict(state.profile.queued_bytes,
+                                                  estimate)
+        if self.config.measure_processing:
+            self.processing_times["feedback"].append(
+                time.perf_counter() - start)
+
+    # ------------------------------------------------------------------ #
+    # Event 3: uplink packet (feedback short-circuiting)
+    # ------------------------------------------------------------------ #
+    def on_uplink_packet(self, packet: Packet, now: float) -> None:
+        start = time.perf_counter() if self.config.measure_processing else 0.0
+        self.uplink_packets += 1
+        if packet.is_ack and packet.protocol == "tcp":
+            downlink_tuple = packet.five_tuple.reversed()
+            flow = self._flows.get(downlink_tuple)
+            if flow is not None:
+                flow.observe_uplink(now)
+                if self.config.enable_shortcircuit:
+                    self._shortcircuit_ack(packet, flow)
+        if self.config.measure_processing:
+            self.processing_times["uplink"].append(
+                time.perf_counter() - start)
+
+    def _shortcircuit_ack(self, packet: Packet, flow: FlowRecord) -> None:
+        rewritten = False
+        if flow.uses_accecn and packet.accecn is not None:
+            packet.accecn.ce_packets = flow.tentative.ce_packets
+            packet.accecn.ce_bytes = flow.tentative.ce_bytes
+            packet.accecn.ect1_bytes = flow.tentative.ect1_bytes
+            packet.accecn.ect0_bytes = flow.tentative.ect0_bytes
+            rewritten = True
+        elif not flow.uses_accecn:
+            if flow.ece_latched and not packet.ece:
+                packet.ece = True
+                rewritten = True
+        if rewritten:
+            recompute_checksums(packet)
+            flow.shortcircuited_acks += 1
+            self.shortcircuited_acks += 1
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def summary(self) -> dict:
+        """Aggregate counters, useful in experiment reports and tests."""
+        return {
+            "downlink_packets": self.downlink_packets,
+            "uplink_packets": self.uplink_packets,
+            "feedback_messages": self.feedback_messages,
+            "marked_packets": self.marked_packets,
+            "shortcircuited_acks": self.shortcircuited_acks,
+            "flows": len(self._flows),
+            "drbs": len(self._drbs),
+        }

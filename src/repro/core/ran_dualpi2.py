@@ -1,0 +1,104 @@
+"""The "DualPi2 in the RAN" baseline of the marking-behaviour microbenchmark.
+
+Section 6.3.1 re-implements the wired DualPi2 strategy at the same place
+L4Span sits, to show that a hard sojourn-time threshold (1 ms or 10 ms) on the
+*measured* queue delay cannot track a volatile wireless egress rate and causes
+severe under-utilisation.  This marker reproduces that baseline:
+
+* L4S packets are marked whenever the measured standing-queue sojourn exceeds
+  the threshold (DualPi2's L-queue step), plus the coupled probability;
+* classic packets are marked with ``p' ** 2`` where ``p'`` is a PI controller
+  tracking the measured sojourn against the classic 15 ms target.
+
+Marking is applied to downlink packets (no short-circuiting, no error-aware
+softening), exactly like a wired DualPi2 dropped into the CU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aqm.dualpi2 import DualPi2Core
+from repro.core.profile_table import DrbProfile
+from repro.net.checksum import mark_ce_with_checksum
+from repro.net.ecn import ECN, FlowClass
+from repro.net.packet import Packet
+from repro.ran.f1u import DeliveryStatus
+from repro.ran.identifiers import DrbId, DrbKey, UeId
+from repro.sim.engine import Simulator
+from repro.units import ms
+
+
+@dataclass
+class _DualPi2DrbState:
+    """Per-bearer state of the in-RAN DualPi2 baseline."""
+
+    profile: DrbProfile = field(default_factory=DrbProfile)
+    core: DualPi2Core = field(default_factory=DualPi2Core)
+    last_update: float = 0.0
+    marks: int = 0
+
+
+class RanDualPi2Marker:
+    """Wired DualPi2 semantics applied at the CU, for the §6.3.1 ablation."""
+
+    name = "ran_dualpi2"
+
+    def __init__(self, sim: Simulator, l4s_threshold: float = ms(1),
+                 classic_target: float = ms(15)) -> None:
+        self._sim = sim
+        self.l4s_threshold = l4s_threshold
+        self.classic_target = classic_target
+        self._drbs: dict[DrbKey, _DualPi2DrbState] = {}
+        self.downlink_packets = 0
+        self.uplink_packets = 0
+        self.feedback_messages = 0
+        self.marked_packets = 0
+
+    # ------------------------------------------------------------------ #
+    def _state(self, ue_id: UeId, drb_id: DrbId) -> _DualPi2DrbState:
+        key = DrbKey(ue_id, drb_id)
+        state = self._drbs.get(key)
+        if state is None:
+            state = _DualPi2DrbState()
+            state.core.l4s_threshold = self.l4s_threshold
+            state.core.target = self.classic_target
+            self._drbs[key] = state
+        return state
+
+    # ------------------------------------------------------------------ #
+    def on_downlink_packet(self, packet: Packet, ue_id: UeId, drb_id: DrbId,
+                           now: float) -> None:
+        self.downlink_packets += 1
+        state = self._state(ue_id, drb_id)
+        state.profile.add_packet(packet.size, now)
+        if packet.ecn == ECN.NOT_ECT:
+            return
+        sojourn = state.profile.head_sojourn(now)
+        if packet.flow_class == FlowClass.L4S:
+            probability = state.core.l4s_mark_probability(sojourn)
+        else:
+            probability = state.core.p_classic
+        if probability <= 0:
+            return
+        if self._sim.random.bernoulli(f"ran-dualpi2-{ue_id}-{drb_id}",
+                                      probability):
+            mark_ce_with_checksum(packet, by=self.name)
+            state.marks += 1
+            self.marked_packets += 1
+
+    def on_ran_feedback(self, status: DeliveryStatus, now: float) -> None:
+        self.feedback_messages += 1
+        state = self._state(status.ue_id, status.drb_id)
+        state.profile.on_feedback(status.highest_txed_sn,
+                                  status.highest_delivered_sn,
+                                  status.timestamp)
+        state.profile.purge(now)
+        # Advance the PI controller at its nominal cadence using the measured
+        # head sojourn as the classic queue-delay signal.
+        if now - state.last_update >= state.core.tupdate:
+            state.core.update(state.profile.head_sojourn(now))
+            state.last_update = now
+
+    def on_uplink_packet(self, packet: Packet, now: float) -> None:
+        self.uplink_packets += 1

@@ -1,0 +1,22 @@
+"""Experiment harnesses: one module per figure/table of the paper.
+
+:mod:`repro.experiments.scenario` provides the generic scenario builder
+(server <-> WAN <-> 5G core <-> gNB(+marker) <-> UEs <-> flows) that every
+harness configures; the ``figXX_*`` modules encode each experiment's workload
+and produce the rows/series the paper reports.
+"""
+
+from repro.experiments.scenario import (FlowResult, ScenarioConfig,
+                                        ScenarioResult, build_scenario,
+                                        run_scenario)
+from repro.experiments.wired import WiredScenarioConfig, run_wired_scenario
+
+__all__ = [
+    "ScenarioConfig",
+    "ScenarioResult",
+    "FlowResult",
+    "build_scenario",
+    "run_scenario",
+    "WiredScenarioConfig",
+    "run_wired_scenario",
+]

@@ -1,0 +1,65 @@
+"""Ablations called out in DESIGN.md.
+
+* ``marking_strategy_ablation`` -- §6.3.1: L4Span's error-aware marking versus
+  DualPi2-in-the-RAN with a hard 1 ms or 10 ms sojourn threshold.
+* ``window_sweep`` -- sensitivity of the egress-rate estimation window
+  (the paper fixes it at half the 24.9 ms coherence time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import L4SpanConfig
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.metrics.stats import box_stats
+from repro.units import ms
+
+
+@dataclass
+class AblationConfig:
+    """Common scaled-down settings for the ablation runs."""
+
+    cc_name: str = "prague"
+    num_ues: int = 1
+    duration_s: float = 6.0
+    channel: str = "mobile"
+    seed: int = 61
+
+
+def marking_strategy_ablation(config: Optional[AblationConfig] = None
+                              ) -> list[dict]:
+    """Compare L4Span's marking with hard-threshold DualPi2 in the RAN."""
+    config = config if config is not None else AblationConfig()
+    rows = []
+    for marker in ("l4span", "ran_dualpi2", "ran_dualpi2_10ms", "none"):
+        result = run_scenario(ScenarioConfig(
+            num_ues=config.num_ues, duration_s=config.duration_s,
+            cc_name=config.cc_name, marker=marker,
+            channel_profile=config.channel, seed=config.seed))
+        owd = box_stats(result.all_owd_samples())
+        rows.append({"marker": marker,
+                     "owd_median_ms": owd.median * 1e3,
+                     "throughput_mbps": result.total_goodput_mbps()})
+    return rows
+
+
+def window_sweep(config: Optional[AblationConfig] = None,
+                 windows_ms: tuple = (3.0, 6.0, 12.45, 25.0, 50.0)
+                 ) -> list[dict]:
+    """Sweep the egress-rate estimation window length."""
+    config = config if config is not None else AblationConfig()
+    rows = []
+    for window_ms in windows_ms:
+        l4span_config = L4SpanConfig(coherence_time=ms(2 * window_ms))
+        result = run_scenario(ScenarioConfig(
+            num_ues=config.num_ues, duration_s=config.duration_s,
+            cc_name=config.cc_name, marker="l4span",
+            channel_profile=config.channel, l4span_config=l4span_config,
+            seed=config.seed))
+        owd = box_stats(result.all_owd_samples())
+        rows.append({"window_ms": window_ms,
+                     "owd_median_ms": owd.median * 1e3,
+                     "throughput_mbps": result.total_goodput_mbps()})
+    return rows

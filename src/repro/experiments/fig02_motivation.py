@@ -1,0 +1,93 @@
+"""Fig. 2 -- motivation: CUBIC and Prague in wired, plain-5G and 5G+L4Span.
+
+Produces, for each of the three network configurations, the RTT / throughput
+(and, for the 5G cases, RLC queue) behaviour of a Prague flow and a CUBIC
+flow.  The 5G runs include the paper's bottleneck shift: a wired middlebox is
+throttled below the RAN capacity for the middle third of the run and restored
+afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
+from repro.experiments.wired import (WiredScenarioConfig, WiredScenarioResult,
+                                     run_wired_scenario)
+from repro.metrics.stats import summarize
+from repro.workloads.flows import FlowSpec
+
+
+@dataclass
+class Fig2Config:
+    """Scaled-down defaults for the motivation experiment."""
+
+    duration_s: float = 8.0
+    wan_rtt_ms: float = 38.0
+    bottleneck_shift: bool = True
+    shift_start_frac: float = 1.0 / 3.0
+    shift_end_frac: float = 2.0 / 3.0
+    throttled_mbps: float = 15.0
+    unthrottled_mbps: float = 200.0
+    seed: int = 7
+
+
+@dataclass
+class Fig2Result:
+    """The three panels of Fig. 2."""
+
+    wired: WiredScenarioResult
+    plain_5g: ScenarioResult
+    l4span_5g: ScenarioResult
+
+    def rows(self) -> list[dict]:
+        """Tabular summary: one row per (panel, algorithm)."""
+        rows = []
+        for flow in self.wired.flows:
+            rows.append({"panel": "wired+dualpi2", "cc": flow.cc_name,
+                         "rtt_ms": summarize(flow.rtt_samples).get("median",
+                                             float("nan")) * 1e3,
+                         "throughput_mbps": flow.goodput_mbps})
+        for panel, result in (("5g", self.plain_5g), ("5g+l4span",
+                                                      self.l4span_5g)):
+            for flow in result.flows:
+                rows.append({
+                    "panel": panel,
+                    "cc": flow.cc_name,
+                    "rtt_ms": summarize(flow.rtt_samples).get(
+                        "median", float("nan")) * 1e3,
+                    "throughput_mbps": flow.goodput_mbps,
+                    "mean_queue_sdus": (sum(result.queue_length_samples)
+                                        / len(result.queue_length_samples)
+                                        if result.queue_length_samples else 0.0),
+                })
+        return rows
+
+
+def _five_g_config(config: Fig2Config, marker: str) -> ScenarioConfig:
+    flows = [FlowSpec(flow_id=0, ue_id=0, cc_name="prague", label="prague"),
+             FlowSpec(flow_id=1, ue_id=0, cc_name="cubic", label="cubic")]
+    schedule = []
+    if config.bottleneck_shift:
+        schedule = [
+            (config.duration_s * config.shift_start_frac, config.throttled_mbps),
+            (config.duration_s * config.shift_end_frac, config.unthrottled_mbps),
+        ]
+    return ScenarioConfig(
+        num_ues=1, duration_s=config.duration_s, marker=marker,
+        wan_rtt=config.wan_rtt_ms / 1e3, seed=config.seed,
+        flows=flows,
+        wired_bottleneck_mbps=config.unthrottled_mbps,
+        wired_bottleneck_schedule=schedule)
+
+
+def run_fig2(config: Optional[Fig2Config] = None) -> Fig2Result:
+    """Run all three panels of Fig. 2 and return their results."""
+    config = config if config is not None else Fig2Config()
+    wired = run_wired_scenario(WiredScenarioConfig(
+        cc_names=["prague", "cubic"], bottleneck_mbps=40.0,
+        rtt=0.02, duration_s=min(config.duration_s, 6.0), seed=config.seed))
+    plain = run_scenario(_five_g_config(config, marker="none"))
+    with_l4span = run_scenario(_five_g_config(config, marker="l4span"))
+    return Fig2Result(wired=wired, plain_5g=plain, l4span_5g=with_l4span)

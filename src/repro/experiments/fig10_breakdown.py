@@ -1,0 +1,49 @@
+"""Fig. 10 -- one-way delay breakdown under RR and PF scheduling.
+
+For each (scheduler, UE count, ±L4Span) combination, run concurrent Prague
+downloads and report the average propagation / scheduling / queuing / other
+components of the one-way delay.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+
+@dataclass
+class BreakdownConfig:
+    """Scaled-down grid for the delay-breakdown figure."""
+
+    schedulers: tuple = ("rr", "pf")
+    ue_counts: tuple = (4,)
+    markers: tuple = ("none", "l4span")
+    cc_name: str = "prague"
+    duration_s: float = 5.0
+    seed: int = 5
+
+
+def run_fig10(config: Optional[BreakdownConfig] = None) -> list[dict]:
+    """Run the breakdown grid; returns one row per configuration."""
+    config = config if config is not None else BreakdownConfig()
+    rows = []
+    for scheduler, ues, marker in itertools.product(
+            config.schedulers, config.ue_counts, config.markers):
+        result = run_scenario(ScenarioConfig(
+            num_ues=ues, duration_s=config.duration_s,
+            cc_name=config.cc_name, marker=marker, scheduler=scheduler,
+            seed=config.seed))
+        breakdown = result.delay_breakdown
+        rows.append({
+            "scheduler": scheduler, "ues": ues,
+            "l4span": marker == "l4span",
+            "propagation_ms": breakdown.get("propagation", 0.0) * 1e3,
+            "queuing_ms": breakdown.get("queuing", 0.0) * 1e3,
+            "scheduling_ms": breakdown.get("scheduling", 0.0) * 1e3,
+            "other_ms": breakdown.get("other", 0.0) * 1e3,
+            "total_ms": sum(breakdown.values()) * 1e3,
+        })
+    return rows

@@ -1,0 +1,50 @@
+"""Fig. 11 -- short-lived flow completion time vs long-lived flow rate.
+
+A 14 kB short flow starts while a long-lived flow of the same algorithm is
+saturating the UE's bearer; the metric is the short flow's finish time (and
+the long flow's retained throughput), with and without L4Span.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.workloads.short_flows import DEFAULT_SLF_BYTES, short_long_mix
+
+
+@dataclass
+class ShortFlowConfig:
+    """Scaled-down configuration of the SLF/LLF experiment."""
+
+    cc_names: tuple = ("prague", "bbr2", "cubic")
+    markers: tuple = ("none", "l4span")
+    duration_s: float = 8.0
+    slf_start: float = 4.0
+    slf_bytes: int = DEFAULT_SLF_BYTES
+    seed: int = 21
+
+
+def run_fig11(config: Optional[ShortFlowConfig] = None) -> list[dict]:
+    """Run the SLF/LLF grid; one row per (algorithm, ±L4Span)."""
+    config = config if config is not None else ShortFlowConfig()
+    rows = []
+    for cc_name, marker in itertools.product(config.cc_names, config.markers):
+        flows = short_long_mix(cc_name, slf_start=config.slf_start,
+                               slf_bytes=config.slf_bytes)
+        result = run_scenario(ScenarioConfig(
+            num_ues=1, duration_s=config.duration_s, cc_name=cc_name,
+            marker=marker, flows=flows, seed=config.seed))
+        llf = result.flows_by_label("llf")[0]
+        slf = result.flows_by_label("slf")[0]
+        finish = None
+        if slf.completion_time is not None:
+            finish = slf.completion_time - config.slf_start
+        rows.append({
+            "cc": cc_name, "l4span": marker == "l4span",
+            "slf_finish_time_ms": finish * 1e3 if finish is not None else None,
+            "llf_rate_mbps": llf.goodput_mbps,
+        })
+    return rows

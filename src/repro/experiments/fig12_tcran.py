@@ -1,0 +1,69 @@
+"""Fig. 12 -- L4Span versus the TC-RAN baseline.
+
+One UE, a Prague or CUBIC flow, static or mobile channel, near (38 ms) or far
+(106 ms) server: compare one-way delay and throughput under L4Span and under
+TC-RAN (CoDel / ECN-CoDel between SDAP and PDCP with fixed thresholds).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.metrics.stats import box_stats
+from repro.units import ms
+
+
+@dataclass
+class TcRanComparisonConfig:
+    """Scaled-down grid of the TC-RAN comparison."""
+
+    cc_names: tuple = ("prague", "cubic")
+    channels: tuple = ("static", "mobile")
+    wan_rtts: tuple = (ms(38),)
+    markers: tuple = ("l4span", "tcran")
+    duration_s: float = 8.0
+    seed: int = 13
+
+
+def run_fig12(config: Optional[TcRanComparisonConfig] = None) -> list[dict]:
+    """Run the comparison grid; one row per configuration."""
+    config = config if config is not None else TcRanComparisonConfig()
+    rows = []
+    for cc, channel, rtt, marker in itertools.product(
+            config.cc_names, config.channels, config.wan_rtts, config.markers):
+        result = run_scenario(ScenarioConfig(
+            num_ues=1, duration_s=config.duration_s, cc_name=cc,
+            marker=marker, channel_profile=channel, wan_rtt=rtt,
+            seed=config.seed))
+        owd = box_stats(result.all_owd_samples())
+        rows.append({
+            "cc": cc, "channel": channel, "wan_rtt_ms": rtt * 1e3,
+            "marker": marker,
+            "owd_median_ms": owd.median * 1e3,
+            "throughput_mbps": result.total_goodput_mbps(),
+        })
+    return rows
+
+
+def throughput_improvement(rows: list[dict]) -> list[dict]:
+    """L4Span-vs-TC-RAN throughput improvement per (cc, channel, rtt)."""
+    out = []
+    for row in rows:
+        if row["marker"] != "l4span":
+            continue
+        baseline = next((r for r in rows if r["marker"] == "tcran"
+                         and r["cc"] == row["cc"]
+                         and r["channel"] == row["channel"]
+                         and r["wan_rtt_ms"] == row["wan_rtt_ms"]), None)
+        if baseline is None or baseline["throughput_mbps"] <= 0:
+            continue
+        out.append({
+            "cc": row["cc"], "channel": row["channel"],
+            "improvement_pct": 100.0 * (row["throughput_mbps"]
+                                        - baseline["throughput_mbps"])
+            / baseline["throughput_mbps"],
+        })
+    return out

@@ -1,0 +1,51 @@
+"""Fig. 13 -- interactive video congestion control (SCReAM and UDP Prague).
+
+Several UEs run concurrent interactive-video downlinks under static,
+pedestrian and vehicular channels; the metric is per-flow RTT and throughput
+with and without L4Span.  Both algorithms run over UDP, so L4Span uses
+downlink IP-ECN marking (no feedback short-circuiting), as in the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.metrics.stats import box_stats
+from repro.workloads.video import interactive_video_flows
+
+
+@dataclass
+class InteractiveConfig:
+    """Scaled-down interactive-application grid."""
+
+    cc_names: tuple = ("scream", "udp_prague")
+    channels: tuple = ("static", "pedestrian", "vehicular")
+    markers: tuple = ("none", "l4span")
+    num_ues: int = 4
+    duration_s: float = 6.0
+    seed: int = 17
+
+
+def run_fig13(config: Optional[InteractiveConfig] = None) -> list[dict]:
+    """Run the interactive-video grid; one row per configuration."""
+    config = config if config is not None else InteractiveConfig()
+    rows = []
+    for cc, channel, marker in itertools.product(
+            config.cc_names, config.channels, config.markers):
+        flows = interactive_video_flows(config.num_ues, cc_name=cc)
+        result = run_scenario(ScenarioConfig(
+            num_ues=config.num_ues, duration_s=config.duration_s,
+            cc_name=cc, marker=marker, channel_profile=channel,
+            flows=flows, wan_rtt=0.02, seed=config.seed))
+        rtt = box_stats(result.all_rtt_samples())
+        per_ue = [f.goodput_mbps for f in result.flows]
+        rows.append({
+            "cc": cc, "channel": channel, "l4span": marker == "l4span",
+            "rtt_median_ms": rtt.median * 1e3,
+            "rtt_p90_ms": rtt.p90 * 1e3,
+            "per_ue_tput_mbps": box_stats(per_ue).median,
+        })
+    return rows

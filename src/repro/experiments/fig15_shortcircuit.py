@@ -1,0 +1,50 @@
+"""Fig. 15 -- effectiveness of feedback short-circuiting.
+
+One UE, a local (low-RTT) server, Prague or CUBIC: compare the RTT and
+throughput CDFs with the short-circuiting rewrite enabled versus disabled
+(all other L4Span machinery unchanged).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.config import L4SpanConfig
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.metrics.stats import box_stats, cdf_points, percentile
+from repro.units import ms
+
+
+@dataclass
+class ShortCircuitConfig:
+    """Scaled-down short-circuiting experiment."""
+
+    cc_names: tuple = ("prague", "cubic")
+    duration_s: float = 8.0
+    wan_rtt: float = ms(10)   # "local server" in the paper
+    seed: int = 29
+
+
+def run_fig15(config: Optional[ShortCircuitConfig] = None) -> list[dict]:
+    """Run the ±short-circuit grid; one row per (algorithm, setting)."""
+    config = config if config is not None else ShortCircuitConfig()
+    rows = []
+    for cc, shortcircuit in itertools.product(config.cc_names, (True, False)):
+        l4span_config = L4SpanConfig(enable_shortcircuit=shortcircuit)
+        result = run_scenario(ScenarioConfig(
+            num_ues=1, duration_s=config.duration_s, cc_name=cc,
+            marker="l4span", wan_rtt=config.wan_rtt,
+            l4span_config=l4span_config, seed=config.seed))
+        rtts = result.all_rtt_samples()
+        rows.append({
+            "cc": cc, "shortcircuit": shortcircuit,
+            "rtt_mean_ms": (sum(rtts) / len(rtts) * 1e3) if rtts else None,
+            "rtt_p999_ms": percentile(rtts, 99.9) * 1e3 if rtts else None,
+            "rtt_cdf": cdf_points(rtts, max_points=50),
+            "throughput_mbps": result.total_goodput_mbps(),
+            "shortcircuited_acks": result.marker_summary.get(
+                "shortcircuited_acks", 0),
+        })
+    return rows

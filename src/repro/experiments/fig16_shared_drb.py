@@ -1,0 +1,104 @@
+"""Fig. 16 -- L4S and classic flows sharing one DRB.
+
+A single UE without multi-DRB support carries one Prague and one CUBIC flow
+in the same bearer.  Four marking strategies are compared: the per-class
+"Original" strategies applied independently, marking both flows with the L4S
+strategy, marking both with the classic strategy, and L4Span's coupled
+strategy.  The metric is the L4S flow's share of throughput and of RTT
+(0.5 = perfectly balanced).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.l4span import L4SpanLayer
+from repro.core.marking import (classic_mark_probability,
+                                coupled_l4s_probability, l4s_mark_probability)
+from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.metrics.stats import summarize
+from repro.net.ecn import FlowClass
+from repro.workloads.flows import FlowSpec
+
+#: Strategy names accepted by :func:`run_shared_drb_case`.
+SHARED_DRB_STRATEGIES = ("original", "l4s", "classic", "l4span")
+
+
+class _ForcedStrategyLayer(L4SpanLayer):
+    """An L4Span layer whose shared-DRB strategy is overridden for the ablation."""
+
+    def __init__(self, *args, strategy: str = "l4span", **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.strategy = strategy
+
+    def mark_probability(self, state, flow):  # noqa: D102 - documented in base
+        if self.strategy == "l4span" or not state.is_shared:
+            return super().mark_probability(state, flow)
+        prediction = state.prediction
+        queued, rate, error = (prediction.queued_bytes, prediction.rate,
+                               prediction.error_std)
+        if rate <= 0:
+            return 0.0
+        sojourn = prediction.sojourn
+        if self.strategy == "l4s":
+            return l4s_mark_probability(queued, rate, error,
+                                        self.config.sojourn_threshold)
+        if self.strategy == "classic":
+            return self._classic_probability(state, flow, sojourn, rate)
+        # "original": apply each flow's own single-class strategy even though
+        # the queue is shared.
+        if flow.flow_class == FlowClass.L4S:
+            return l4s_mark_probability(queued, rate, error,
+                                        self.config.sojourn_threshold)
+        return self._classic_probability(state, flow, sojourn, rate)
+
+
+@dataclass
+class SharedDrbConfig:
+    """Scaled-down shared-DRB experiment."""
+
+    duration_s: float = 8.0
+    seed: int = 31
+
+
+def run_shared_drb_case(strategy: str,
+                        config: Optional[SharedDrbConfig] = None) -> dict:
+    """Run one marking strategy on a shared DRB and return the share metrics."""
+    config = config if config is not None else SharedDrbConfig()
+    if strategy not in SHARED_DRB_STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}")
+    flows = [FlowSpec(flow_id=0, ue_id=0, cc_name="prague", label="l4s"),
+             FlowSpec(flow_id=1, ue_id=0, cc_name="cubic", label="classic")]
+    scenario_config = ScenarioConfig(
+        num_ues=1, duration_s=config.duration_s, marker="l4span",
+        separate_drbs=False, flows=flows, seed=config.seed)
+    built = build_scenario(scenario_config)
+    built.marker = _ForcedStrategyLayer(built.sim,
+                                        config=scenario_config.l4span_config,
+                                        strategy=strategy)
+    built.gnb.set_marker(built.marker)
+    result = built.run()
+    l4s_flow = result.flows_by_label("l4s")[0]
+    classic_flow = result.flows_by_label("classic")[0]
+    l4s_rtt = summarize(l4s_flow.rtt_samples).get("median", float("nan"))
+    classic_rtt = summarize(classic_flow.rtt_samples).get("median",
+                                                          float("nan"))
+    total_tput = l4s_flow.goodput_mbps + classic_flow.goodput_mbps
+    total_rtt = l4s_rtt + classic_rtt
+    return {
+        "strategy": strategy,
+        "l4s_throughput_share": (l4s_flow.goodput_mbps / total_tput
+                                 if total_tput > 0 else float("nan")),
+        "l4s_rtt_share": (l4s_rtt / total_rtt if total_rtt > 0
+                          else float("nan")),
+        "l4s_tput_mbps": l4s_flow.goodput_mbps,
+        "classic_tput_mbps": classic_flow.goodput_mbps,
+    }
+
+
+def run_fig16(config: Optional[SharedDrbConfig] = None) -> list[dict]:
+    """Run all four shared-DRB strategies."""
+    config = config if config is not None else SharedDrbConfig()
+    return [run_shared_drb_case(strategy, config)
+            for strategy in SHARED_DRB_STRATEGIES]

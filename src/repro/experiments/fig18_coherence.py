@@ -1,0 +1,63 @@
+"""Fig. 18 -- channel-stable-period CDF versus the estimation window.
+
+The paper captures DCIs from two commercial cells (a 600 MHz FDD cell and a
+2.5 GHz TDD cell) with NR-Scope and measures how long the scheduled MCS stays
+within a deviation of 5.  We generate synthetic MCS traces from the library's
+fading channels configured to mimic those two cells and run the identical
+stability analysis, checking that well over 90% of stable periods exceed the
+12.45 ms estimation window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.coherence import fraction_longer_than, stable_periods
+from repro.channel.fading import FadingChannel
+from repro.metrics.stats import cdf_points
+
+
+@dataclass
+class CoherenceConfig:
+    """Synthetic stand-ins for the two commercial cells."""
+
+    duration_s: float = 30.0
+    sample_interval_s: float = 0.002
+    estimation_window_s: float = 0.01245
+    seed: int = 41
+
+
+def _cell_channels(config: CoherenceConfig) -> dict[str, FadingChannel]:
+    rng_fdd = np.random.default_rng(config.seed)
+    rng_tdd = np.random.default_rng(config.seed + 1)
+    return {
+        # 600 MHz FDD: long coherence time (low carrier, mostly stationary UEs).
+        "fdd_600mhz": FadingChannel(mean_snr_db=18.0, std_snr_db=1.5,
+                                    speed_kmh=1.5, carrier_ghz=0.6,
+                                    rng=rng_fdd),
+        # 2.5 GHz TDD: shorter coherence time (higher carrier, walking UEs).
+        "tdd_2.5ghz": FadingChannel(mean_snr_db=16.0, std_snr_db=2.0,
+                                    speed_kmh=4.0, carrier_ghz=2.5,
+                                    rng=rng_tdd),
+    }
+
+
+def run_fig18(config: Optional[CoherenceConfig] = None) -> list[dict]:
+    """Analyse the stable periods of both synthetic cells."""
+    config = config if config is not None else CoherenceConfig()
+    rows = []
+    for name, channel in _cell_channels(config).items():
+        trace = channel.mcs_trace(config.duration_s, config.sample_interval_s)
+        periods = stable_periods(trace, max_deviation=5, max_period=1.0)
+        rows.append({
+            "cell": name,
+            "coherence_time_ms": channel.coherence_time * 1e3,
+            "num_periods": len(periods),
+            "fraction_above_window": fraction_longer_than(
+                periods, config.estimation_window_s),
+            "period_cdf": cdf_points(periods, max_points=50),
+        })
+    return rows

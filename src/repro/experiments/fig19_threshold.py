@@ -1,0 +1,48 @@
+"""Fig. 19 -- impact of the sojourn-time threshold tau_s.
+
+Sweep the marking threshold from 1 ms to 100 ms with varying UE counts and
+report each configuration's RTT and summed rate; the paper selects 10 ms as
+the point where throughput has recovered while RTT is still low.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.core.config import L4SpanConfig
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.metrics.stats import box_stats
+from repro.units import ms
+
+
+@dataclass
+class ThresholdSweepConfig:
+    """Scaled-down threshold sweep."""
+
+    thresholds_ms: tuple = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0)
+    ue_counts: tuple = (1,)
+    cc_name: str = "prague"
+    duration_s: float = 6.0
+    seed: int = 43
+
+
+def run_fig19(config: Optional[ThresholdSweepConfig] = None) -> list[dict]:
+    """Run the tau_s sweep; one row per (threshold, UE count)."""
+    config = config if config is not None else ThresholdSweepConfig()
+    rows = []
+    for threshold_ms, ues in itertools.product(config.thresholds_ms,
+                                               config.ue_counts):
+        l4span_config = L4SpanConfig(sojourn_threshold=ms(threshold_ms))
+        result = run_scenario(ScenarioConfig(
+            num_ues=ues, duration_s=config.duration_s,
+            cc_name=config.cc_name, marker="l4span",
+            l4span_config=l4span_config, seed=config.seed))
+        rtt = box_stats(result.all_rtt_samples())
+        rows.append({
+            "threshold_ms": threshold_ms, "ues": ues,
+            "rtt_mean_ms": rtt.mean * 1e3,
+            "rate_sum_mbps": result.total_goodput_mbps(),
+        })
+    return rows

@@ -1,0 +1,418 @@
+"""The generic 5G scenario builder used by every experiment harness.
+
+A scenario wires, for each flow:
+
+    content server (CC sender)
+        -> WAN delay pipe (half the Azure ping time)
+        -> [optional wired middlebox whose rate can be throttled]
+        -> 5G core (UPF)
+        -> gNB CU-UP (marker: none / L4Span / TC-RAN / RAN-DualPi2)
+        -> F1-U -> DU RLC queue -> MAC/PHY -> UE
+        -> client receiver
+        -> uplink (UE grant-cycle delay) -> gNB CU (marker sees the ACK)
+        -> 5G core -> WAN delay pipe -> back to the sender
+
+and runs the discrete-event simulation for the configured duration,
+collecting one-way delays, RTTs, throughput, RLC queue occupancy and the
+delay breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cc.base import RateSender, Sender
+from repro.cc.factory import is_l4s_algorithm, is_udp_algorithm, make_receiver, make_sender
+from repro.channel.profiles import make_channel
+from repro.core.config import L4SpanConfig
+from repro.core.factory import make_marker
+from repro.core.l4span import L4SpanLayer
+from repro.metrics.collectors import (DelayBreakdownAccumulator, OwdCollector,
+                                      QueueSampler, RateEstimationProbe,
+                                      ThroughputCollector, TimeSeries)
+from repro.metrics.stats import box_stats, summarize
+from repro.net.addresses import FiveTuple
+from repro.net.packet import Packet
+from repro.net.pipe import DelayPipe
+from repro.net.router import BottleneckRouter
+from repro.ran.cell import CellConfig
+from repro.ran.core import FiveGCore
+from repro.ran.gnb import GNodeB
+from repro.ran.identifiers import DEFAULT_RLC_QUEUE_SDUS, RlcMode
+from repro.ran.mac import SchedulerPolicy
+from repro.ran.phy import AirInterfaceConfig
+from repro.ran.ue import UeConfig, UeContext
+from repro.sim.engine import Simulator
+from repro.units import mbps, ms, to_mbps
+from repro.workloads.flows import FlowSpec
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything needed to describe one experiment run.
+
+    The defaults reproduce the paper's common setting: a ~40 Mbit/s n78 cell,
+    38 ms WAN RTT, RLC AM with the default 16384-SDU queue, round-robin MAC
+    scheduling and separate L4S/classic DRBs per UE.
+    """
+
+    num_ues: int = 1
+    duration_s: float = 5.0
+    cc_name: str = "prague"
+    marker: str = "l4span"          # "none", "l4span", "tcran", "ran_dualpi2"
+    l4span: Optional[bool] = None   # convenience alias: True -> "l4span", False -> "none"
+    channel_profile: str = "static"
+    wan_rtt: float = ms(38)
+    scheduler: str = "rr"
+    rlc_queue_sdus: int = DEFAULT_RLC_QUEUE_SDUS
+    rlc_mode: str = "am"
+    separate_drbs: bool = True
+    seed: int = 1
+    flows: Optional[list[FlowSpec]] = None
+    mean_snr_db: float = 22.0
+    cell: CellConfig = field(default_factory=CellConfig)
+    air: AirInterfaceConfig = field(default_factory=AirInterfaceConfig)
+    l4span_config: L4SpanConfig = field(default_factory=L4SpanConfig)
+    queue_sample_interval: float = 0.05
+    throughput_window: float = 0.25
+    rate_probe: bool = False
+    # Optional wired middlebox between the WAN and the 5G core whose rate can
+    # be throttled during the run (Fig. 2's bottleneck shift).
+    wired_bottleneck_mbps: Optional[float] = None
+    wired_bottleneck_schedule: list = field(default_factory=list)
+    warmup_s: float = 0.5
+
+    def resolved_marker(self) -> str:
+        """Resolve the ``l4span`` boolean alias onto the marker name."""
+        if self.l4span is None:
+            return self.marker
+        return "l4span" if self.l4span else "none"
+
+    def label(self) -> str:
+        """Short human-readable description used in reports."""
+        return (f"{self.cc_name}/{self.channel_profile}/{self.num_ues}ue/"
+                f"{self.resolved_marker()}")
+
+
+@dataclass
+class FlowResult:
+    """Per-flow measurements extracted after a run."""
+
+    flow_id: int
+    ue_id: int
+    cc_name: str
+    label: str
+    owd_samples: list[float]
+    rtt_samples: list[float]
+    goodput_bytes_per_s: float
+    completion_time: Optional[float]
+    congestion_events: int
+    marked_fraction: float
+    throughput_series: TimeSeries
+
+    @property
+    def goodput_mbps(self) -> float:
+        """Average received rate in Mbit/s."""
+        return to_mbps(self.goodput_bytes_per_s)
+
+    def owd_box(self):
+        """Box statistics (median/quartiles/whiskers) of the one-way delay."""
+        return box_stats(self.owd_samples)
+
+    def rtt_box(self):
+        """Box statistics of the RTT samples."""
+        return box_stats(self.rtt_samples)
+
+
+@dataclass
+class ScenarioResult:
+    """Everything an experiment harness needs after one run."""
+
+    config: ScenarioConfig
+    flows: list[FlowResult]
+    queue_length_samples: list[int]
+    queue_length_by_drb: dict[str, list[int]]
+    delay_breakdown: dict[str, float]
+    marker_summary: dict
+    per_ue_throughput: dict[int, float]
+    rate_estimation_errors: list[float]
+    duration_s: float
+    events_processed: int
+
+    # ------------------------------------------------------------------ #
+    def flow(self, flow_id: int) -> FlowResult:
+        """Look up one flow's results."""
+        for flow in self.flows:
+            if flow.flow_id == flow_id:
+                return flow
+        raise KeyError(f"no flow {flow_id} in result")
+
+    def flows_by_label(self, label: str) -> list[FlowResult]:
+        """All flows tagged with ``label`` by the workload."""
+        return [f for f in self.flows if f.label == label]
+
+    def all_owd_samples(self) -> list[float]:
+        """One-way delay samples pooled across flows."""
+        merged: list[float] = []
+        for flow in self.flows:
+            merged.extend(flow.owd_samples)
+        return merged
+
+    def all_rtt_samples(self) -> list[float]:
+        """RTT samples pooled across flows."""
+        merged: list[float] = []
+        for flow in self.flows:
+            merged.extend(flow.rtt_samples)
+        return merged
+
+    def median_owd_ms(self) -> float:
+        """Median one-way delay across all flows, in milliseconds."""
+        samples = self.all_owd_samples()
+        return box_stats(samples).median * 1e3 if samples else float("nan")
+
+    def total_goodput_mbps(self) -> float:
+        """Sum of all flows' average goodput in Mbit/s."""
+        return sum(f.goodput_mbps for f in self.flows)
+
+    def mean_per_ue_throughput_mbps(self) -> float:
+        """Mean per-UE average received rate in Mbit/s."""
+        if not self.per_ue_throughput:
+            return 0.0
+        return to_mbps(sum(self.per_ue_throughput.values())
+                       / len(self.per_ue_throughput))
+
+    def summary(self) -> dict:
+        """Compact dictionary summary used by reports and the quickstart."""
+        owd = summarize(self.all_owd_samples())
+        rtt = summarize(self.all_rtt_samples())
+        return {
+            "label": self.config.label(),
+            "median_owd_ms": owd.get("median", float("nan")) * 1e3
+            if owd.get("count") else float("nan"),
+            "p90_owd_ms": owd.get("p90", float("nan")) * 1e3
+            if owd.get("count") else float("nan"),
+            "median_rtt_ms": rtt.get("median", float("nan")) * 1e3
+            if rtt.get("count") else float("nan"),
+            "total_goodput_mbps": self.total_goodput_mbps(),
+            "mean_queue_sdus": (sum(self.queue_length_samples)
+                                / len(self.queue_length_samples)
+                                if self.queue_length_samples else 0.0),
+            "marked_packets": self.marker_summary.get("marked_packets", 0),
+            "events": self.events_processed,
+        }
+
+
+class BuiltScenario:
+    """A wired-up scenario ready to run (exposed for advanced tests)."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        self.sim = Simulator(seed=config.seed)
+        marker_name = config.resolved_marker()
+        self.marker = make_marker(marker_name, self.sim,
+                                  l4span_config=config.l4span_config)
+        policy = (SchedulerPolicy.PROPORTIONAL_FAIR
+                  if config.scheduler.lower() in ("pf", "proportional_fair")
+                  else SchedulerPolicy.ROUND_ROBIN)
+        self.gnb = GNodeB(self.sim, cell=config.cell, scheduler_policy=policy,
+                          marker=self.marker, air_config=config.air)
+        self.core = FiveGCore(self.sim)
+        self.gnb.uplink_sink = _UplinkAdapter(self.core)
+        self.ues: dict[int, UeContext] = {}
+        self.senders: dict[int, Sender] = {}
+        self.receivers: dict[int, object] = {}
+        self.flow_specs: list[FlowSpec] = (config.flows if config.flows is not None
+                                           else self._default_flows())
+        self.owd = OwdCollector()
+        self.throughput = ThroughputCollector(window=config.throughput_window)
+        self.breakdown = DelayBreakdownAccumulator()
+        self.queue_sampler = QueueSampler(self.sim, self.gnb,
+                                          interval=config.queue_sample_interval)
+        self.rate_probe: Optional[RateEstimationProbe] = None
+        self._build_ues()
+        self._build_flows()
+        if config.rate_probe and isinstance(self.marker, L4SpanLayer):
+            self.rate_probe = RateEstimationProbe(self.sim, self.gnb,
+                                                  self.marker)
+        self._wired: Optional[BottleneckRouter] = None
+        if config.wired_bottleneck_mbps is not None:
+            self._insert_wired_bottleneck()
+
+    # ------------------------------------------------------------------ #
+    def _default_flows(self) -> list[FlowSpec]:
+        return [FlowSpec(flow_id=i, ue_id=i % max(1, self.config.num_ues),
+                         cc_name=self.config.cc_name, label="bulk")
+                for i in range(self.config.num_ues)]
+
+    def _ue_ip(self, ue_id: int) -> str:
+        return f"10.45.0.{(ue_id % 250) + 2}"
+
+    def _build_ues(self) -> None:
+        config = self.config
+        rlc_mode = RlcMode.AM if config.rlc_mode.lower() == "am" else RlcMode.UM
+        ue_ids = sorted({spec.ue_id for spec in self.flow_specs}
+                        | set(range(config.num_ues)))
+        for ue_id in ue_ids:
+            channel = make_channel(
+                config.channel_profile,
+                rng=self.sim.random.stream(f"channel-ue{ue_id}"),
+                mean_snr_db=config.mean_snr_db,
+                carrier_ghz=config.cell.carrier_ghz,
+                ue_index=ue_id)
+            ue_config = UeConfig(ue_id=ue_id,
+                                 channel_profile=config.channel_profile,
+                                 rlc_mode=rlc_mode,
+                                 rlc_queue_sdus=config.rlc_queue_sdus,
+                                 separate_drbs=config.separate_drbs)
+            ue = UeContext(self.sim, ue_config, channel)
+            self.gnb.attach_ue(ue)
+            self.core.register_ue_address(self._ue_ip(ue_id), self.gnb, ue_id)
+            self.ues[ue_id] = ue
+
+    def _forward_entry_sink(self):
+        """The component WAN pipes feed into (wired middlebox or the core)."""
+        return self._wired if self._wired is not None else self.core
+
+    def _insert_wired_bottleneck(self) -> None:
+        config = self.config
+        self._wired = BottleneckRouter(
+            self.sim, rate=mbps(config.wired_bottleneck_mbps),
+            sink=self.core, queue_bytes=1_500_000, name="wired-middlebox")
+        # Re-point every already-built WAN pipe at the middlebox.
+        for pipe in self._wan_pipes:
+            pipe.sink = self._wired
+        for start_time, rate_mbps in config.wired_bottleneck_schedule:
+            self.sim.schedule_at(start_time, self._wired.set_rate,
+                                 mbps(rate_mbps))
+
+    def _build_flows(self) -> None:
+        config = self.config
+        self._wan_pipes: list[DelayPipe] = []
+        one_way = config.wan_rtt / 2.0
+        for spec in self.flow_specs:
+            protocol = "udp" if is_udp_algorithm(spec.cc_name) else "tcp"
+            five_tuple = FiveTuple(src_ip="10.0.0.1", src_port=443,
+                                   dst_ip=self._ue_ip(spec.ue_id),
+                                   dst_port=50_000 + spec.flow_id,
+                                   protocol=protocol)
+            forward = DelayPipe(self.sim, one_way, sink=self.core,
+                                name=f"wan-dl-{spec.flow_id}")
+            self._wan_pipes.append(forward)
+            sender = make_sender(spec.cc_name, self.sim, spec.flow_id,
+                                 five_tuple, path=forward,
+                                 flow_bytes=spec.flow_bytes)
+            ue = self.ues[spec.ue_id]
+            owd_cb = self._make_owd_callback(spec)
+            receiver = make_receiver(spec.cc_name, self.sim, spec.flow_id,
+                                     send_feedback=ue.send_uplink,
+                                     owd_callback=owd_cb)
+            ue.register_receiver(spec.flow_id, receiver)
+            reverse = DelayPipe(self.sim, one_way, sink=_SenderAdapter(sender),
+                                name=f"wan-ul-{spec.flow_id}")
+            self.core.register_uplink_route(spec.flow_id, reverse)
+            self.senders[spec.flow_id] = sender
+            self.receivers[spec.flow_id] = receiver
+            self.sim.schedule_at(spec.start_time, sender.start)
+            if spec.stop_time is not None:
+                self.sim.schedule_at(spec.stop_time, sender.stop)
+
+    def _make_owd_callback(self, spec: FlowSpec):
+        def callback(owd: float, packet: Packet) -> None:
+            now = self.sim.now
+            if now >= self.config.warmup_s:
+                self.owd.record(spec.flow_id, owd, now)
+                self.breakdown.record_packet(packet, now)
+            self.throughput.record(spec.flow_id, packet.size, now)
+        return callback
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> ScenarioResult:
+        """Run the simulation and collect results."""
+        config = self.config
+        events = self.sim.run(until=config.duration_s)
+        self.gnb.stop()
+        self.queue_sampler.stop()
+        if self.rate_probe is not None:
+            self.rate_probe.stop()
+        return self._collect(events)
+
+    def _collect(self, events: int) -> ScenarioResult:
+        config = self.config
+        flow_results: list[FlowResult] = []
+        measured = max(config.duration_s - config.warmup_s, 1e-9)
+        for spec in self.flow_specs:
+            sender = self.senders[spec.flow_id]
+            owd_samples = self.owd.samples.get(spec.flow_id, [])
+            duration = config.duration_s - spec.start_time
+            if spec.stop_time is not None:
+                duration = min(duration, spec.stop_time - spec.start_time)
+            goodput = self.throughput.average_rate(
+                spec.flow_id, duration=max(duration, 1e-9))
+            marked_fraction = 0.0
+            if isinstance(self.marker, L4SpanLayer):
+                record = self.marker.flow_record(
+                    self.senders[spec.flow_id].five_tuple)
+                if record is not None:
+                    marked_fraction = record.mark_fraction
+            flow_results.append(FlowResult(
+                flow_id=spec.flow_id, ue_id=spec.ue_id, cc_name=spec.cc_name,
+                label=spec.label, owd_samples=owd_samples,
+                rtt_samples=list(sender.stats.rtt_samples),
+                goodput_bytes_per_s=goodput,
+                completion_time=sender.stats.completion_time,
+                congestion_events=sender.stats.congestion_events,
+                marked_fraction=marked_fraction,
+                throughput_series=self.throughput.series.get(spec.flow_id,
+                                                             TimeSeries())))
+        per_ue: dict[int, float] = {}
+        for spec in self.flow_specs:
+            per_ue.setdefault(spec.ue_id, 0.0)
+            per_ue[spec.ue_id] += self.throughput.total_bytes.get(
+                spec.flow_id, 0) / max(config.duration_s, 1e-9)
+        marker_summary = (self.marker.summary()
+                          if hasattr(self.marker, "summary") else
+                          {"marked_packets": getattr(self.marker,
+                                                     "marked_packets", 0)})
+        return ScenarioResult(
+            config=config,
+            flows=flow_results,
+            queue_length_samples=self.queue_sampler.all_length_samples(),
+            queue_length_by_drb=dict(self.queue_sampler.length_samples),
+            delay_breakdown=self.breakdown.averages(),
+            marker_summary=marker_summary,
+            per_ue_throughput=per_ue,
+            rate_estimation_errors=(self.rate_probe.errors_percent
+                                    if self.rate_probe is not None else []),
+            duration_s=config.duration_s,
+            events_processed=events)
+
+
+class _SenderAdapter:
+    """Adapts a sender's ``receive`` to the PacketSink protocol."""
+
+    def __init__(self, sender: Sender) -> None:
+        self._sender = sender
+
+    def receive(self, packet: Packet) -> None:
+        self._sender.receive(packet)
+
+
+class _UplinkAdapter:
+    """Routes uplink packets leaving the gNB into the core."""
+
+    def __init__(self, core: FiveGCore) -> None:
+        self._core = core
+
+    def receive(self, packet: Packet) -> None:
+        self._core.receive_uplink(packet)
+
+
+def build_scenario(config: ScenarioConfig) -> BuiltScenario:
+    """Construct (but do not run) a scenario."""
+    return BuiltScenario(config)
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Build and run a scenario, returning its results."""
+    return build_scenario(config).run()

@@ -1,0 +1,205 @@
+"""Run-time measurement collectors attached to scenarios.
+
+Collectors are intentionally cheap: they append to Python lists and do all
+statistics after the simulation finishes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.metrics.breakdown import DelayBreakdown, breakdown_from_packet
+from repro.metrics.stats import box_stats, summarize
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+
+
+@dataclass
+class TimeSeries:
+    """A simple (time, value) series with helpers."""
+
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def mean(self) -> float:
+        if not self.values:
+            return float("nan")
+        return sum(self.values) / len(self.values)
+
+    def points(self) -> list[tuple[float, float]]:
+        return list(zip(self.times, self.values))
+
+
+class OwdCollector:
+    """Collects per-flow one-way delays of delivered downlink packets."""
+
+    def __init__(self) -> None:
+        self.samples: dict[int, list[float]] = defaultdict(list)
+        self.sample_times: dict[int, list[float]] = defaultdict(list)
+
+    def record(self, flow_id: int, owd: float, now: float) -> None:
+        self.samples[flow_id].append(owd)
+        self.sample_times[flow_id].append(now)
+
+    def flow_summary(self, flow_id: int) -> dict:
+        """Summary statistics of one flow's one-way delay."""
+        return summarize(self.samples.get(flow_id, []))
+
+    def flow_box(self, flow_id: int):
+        """Box statistics of one flow's one-way delay."""
+        return box_stats(self.samples.get(flow_id, []))
+
+    def all_samples(self) -> list[float]:
+        """Every sample across all flows."""
+        merged: list[float] = []
+        for values in self.samples.values():
+            merged.extend(values)
+        return merged
+
+
+class ThroughputCollector:
+    """Windowed received-throughput series per flow (bytes/s)."""
+
+    def __init__(self, window: float = 0.25) -> None:
+        self.window = window
+        self._bytes_in_window: dict[int, int] = defaultdict(int)
+        self._window_start: dict[int, float] = {}
+        self.series: dict[int, TimeSeries] = defaultdict(TimeSeries)
+        self.total_bytes: dict[int, int] = defaultdict(int)
+        self.first_time: dict[int, float] = {}
+        self.last_time: dict[int, float] = {}
+
+    def record(self, flow_id: int, size: int, now: float) -> None:
+        self.total_bytes[flow_id] += size
+        self.first_time.setdefault(flow_id, now)
+        self.last_time[flow_id] = now
+        start = self._window_start.setdefault(flow_id, now)
+        self._bytes_in_window[flow_id] += size
+        if now - start >= self.window:
+            rate = self._bytes_in_window[flow_id] / (now - start)
+            self.series[flow_id].append(now, rate)
+            self._window_start[flow_id] = now
+            self._bytes_in_window[flow_id] = 0
+
+    def average_rate(self, flow_id: int,
+                     duration: Optional[float] = None) -> float:
+        """Mean received rate of a flow in bytes/s."""
+        total = self.total_bytes.get(flow_id, 0)
+        if total == 0:
+            return 0.0
+        if duration is None:
+            first = self.first_time.get(flow_id, 0.0)
+            last = self.last_time.get(flow_id, first)
+            duration = max(last - first, 1e-9)
+        return total / max(duration, 1e-9)
+
+
+class DelayBreakdownAccumulator:
+    """Averages the per-packet delay breakdown across all delivered packets."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sums = {"propagation": 0.0, "queuing": 0.0, "scheduling": 0.0,
+                     "other": 0.0}
+
+    def record_packet(self, packet: Packet, delivery_time: float) -> None:
+        breakdown = breakdown_from_packet(packet, delivery_time)
+        if breakdown is None:
+            return
+        self.count += 1
+        for key, value in breakdown.as_dict().items():
+            if key in self.sums:
+                self.sums[key] += value
+
+    def averages(self) -> dict:
+        """Mean of each component in seconds (zeros when nothing recorded)."""
+        if self.count == 0:
+            return {key: 0.0 for key in self.sums}
+        return {key: value / self.count for key, value in self.sums.items()}
+
+
+class QueueSampler:
+    """Periodically samples RLC queue lengths (in SDUs) and bytes per bearer."""
+
+    def __init__(self, sim: Simulator, gnb, interval: float = 0.05) -> None:
+        self._sim = sim
+        self._gnb = gnb
+        self.interval = interval
+        self.length_samples: dict[str, list[int]] = defaultdict(list)
+        self.byte_samples: dict[str, list[int]] = defaultdict(list)
+        self.times: list[float] = []
+        self._process = PeriodicProcess(sim, interval, self._sample,
+                                        name="queue-sampler")
+
+    def _sample(self) -> None:
+        self.times.append(self._sim.now)
+        report = self._gnb.du.queue_length_report()
+        for key, length in report.items():
+            name = str(key)
+            self.length_samples[name].append(length)
+            entity = self._gnb.du.rlc_entity(key.ue_id, key.drb_id)
+            self.byte_samples[name].append(entity.backlog_bytes)
+
+    def all_length_samples(self) -> list[int]:
+        """Every queue-length sample across bearers."""
+        merged: list[int] = []
+        for values in self.length_samples.values():
+            merged.extend(values)
+        return merged
+
+    def stop(self) -> None:
+        self._process.stop()
+
+
+class RateEstimationProbe:
+    """Samples L4Span's egress-rate estimate against the ground truth.
+
+    The ground truth is the RLC entity's transmitted-byte counter differenced
+    over each sampling interval -- the same quantity the estimator tries to
+    predict from F1-U reports.  Used by the Fig. 20 harness.
+    """
+
+    def __init__(self, sim: Simulator, gnb, l4span,
+                 interval: float = 0.05) -> None:
+        self._sim = sim
+        self._gnb = gnb
+        self._l4span = l4span
+        self.interval = interval
+        self._last_tx_bytes: dict[str, int] = {}
+        self.errors_percent: list[float] = []
+        self._process = PeriodicProcess(sim, interval, self._sample,
+                                        name="rate-probe")
+
+    def _sample(self) -> None:
+        for key, state in list(self._l4span.drb_states.items()):
+            estimate = state.estimator.last_estimate
+            if estimate is None or estimate.smoothed_rate <= 0:
+                continue
+            try:
+                entity = self._gnb.du.rlc_entity(key.ue_id, key.drb_id)
+            except KeyError:
+                continue
+            name = str(key)
+            previous = self._last_tx_bytes.get(name)
+            current = entity.transmitted_bytes
+            self._last_tx_bytes[name] = current
+            if previous is None:
+                continue
+            true_rate = (current - previous) / self.interval
+            if true_rate <= 0:
+                continue
+            error = 100.0 * (estimate.smoothed_rate - true_rate) / true_rate
+            self.errors_percent.append(error)
+
+    def stop(self) -> None:
+        self._process.stop()

@@ -1,0 +1,126 @@
+"""Internet checksum (RFC 1071) and lightweight header serialisation.
+
+The real L4Span prototype must recompute the IP checksum after rewriting the
+ECN field and the TCP checksum after rewriting ACK feedback (paper §5).  The
+simulation does not need checksums for correctness, but we model the same
+operations so the processing-cost benchmark (Fig. 21 / Table 1) exercises a
+comparable amount of per-packet work, and so tests can verify that marking a
+packet keeps its headers internally consistent.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.net.ecn import ECN
+from repro.net.packet import Packet
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement checksum of ``data``."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def verify_checksum(data: bytes, checksum: int) -> bool:
+    """True when ``checksum`` is the valid internet checksum of ``data``."""
+    return internet_checksum(data) == checksum
+
+
+def serialize_ip_header(packet: Packet) -> bytes:
+    """Produce a 20-byte IPv4-style header for checksum purposes.
+
+    The encoding is simplified (addresses are hashed into 32 bits) but is
+    deterministic and sensitive to every field a marker may rewrite, which is
+    what the tests and the processing-cost model need.
+    """
+    tos = int(packet.ecn) & 0x03
+    total_length = packet.size & 0xFFFF
+    proto = 6 if packet.protocol == "tcp" else 17
+    src = hash(packet.five_tuple.src_ip) & 0xFFFFFFFF
+    dst = hash(packet.five_tuple.dst_ip) & 0xFFFFFFFF
+    header = struct.pack("!BBHHHBBH", 0x45, tos, total_length,
+                         packet.packet_id & 0xFFFF, 0, 64, proto, 0)
+    header += struct.pack("!II", src, dst)
+    return header
+
+
+def serialize_tcp_header(packet: Packet) -> bytes:
+    """Produce a 20-byte TCP-style header covering the feedback fields."""
+    flags = 0x10  # ACK
+    if packet.ece:
+        flags |= 0x40
+    if packet.cwr:
+        flags |= 0x80
+    src_port = packet.five_tuple.src_port & 0xFFFF
+    dst_port = packet.five_tuple.dst_port & 0xFFFF
+    header = struct.pack("!HHIIBBHHH", src_port, dst_port,
+                         packet.seq & 0xFFFFFFFF, packet.ack_seq & 0xFFFFFFFF,
+                         0x50, flags, 0xFFFF, 0, 0)
+    if packet.accecn is not None:
+        header += struct.pack("!IIII", packet.accecn.ce_packets & 0xFFFFFFFF,
+                              packet.accecn.ce_bytes & 0xFFFFFFFF,
+                              packet.accecn.ect1_bytes & 0xFFFFFFFF,
+                              packet.accecn.ect0_bytes & 0xFFFFFFFF)
+    return header
+
+
+def ip_checksum_of(packet: Packet) -> int:
+    """Checksum of the (simplified) IP header of ``packet``."""
+    return internet_checksum(serialize_ip_header(packet))
+
+
+def tcp_checksum_of(packet: Packet) -> int:
+    """Checksum of the (simplified) TCP header of ``packet``."""
+    return internet_checksum(serialize_tcp_header(packet))
+
+
+def recompute_checksums(packet: Packet) -> tuple[int, int]:
+    """Recompute both checksums, mirroring what L4Span does after rewriting.
+
+    Returns ``(ip_checksum, tcp_checksum)`` and stores them in
+    ``packet.payload_info`` so later verification can detect a stale value.
+    """
+    ip_sum = ip_checksum_of(packet)
+    tcp_sum = tcp_checksum_of(packet) if packet.protocol == "tcp" else 0
+    packet.payload_info["ip_checksum"] = ip_sum
+    packet.payload_info["tcp_checksum"] = tcp_sum
+    return ip_sum, tcp_sum
+
+
+def checksums_valid(packet: Packet) -> bool:
+    """True when the stored checksums match the current header contents."""
+    if "ip_checksum" not in packet.payload_info:
+        return False
+    if packet.payload_info["ip_checksum"] != ip_checksum_of(packet):
+        return False
+    if packet.protocol == "tcp":
+        return packet.payload_info.get("tcp_checksum") == tcp_checksum_of(packet)
+    return True
+
+
+def mark_ce_with_checksum(packet: Packet, by: str) -> bool:
+    """Mark CE and refresh the IP checksum, as the prototype's datapath does."""
+    marked = packet.mark_ce(by)
+    if marked:
+        packet.payload_info["ip_checksum"] = ip_checksum_of(packet)
+    return marked
+
+
+__all__ = [
+    "internet_checksum",
+    "verify_checksum",
+    "serialize_ip_header",
+    "serialize_tcp_header",
+    "ip_checksum_of",
+    "tcp_checksum_of",
+    "recompute_checksums",
+    "checksums_valid",
+    "mark_ce_with_checksum",
+    "ECN",
+]

@@ -1,0 +1,52 @@
+"""ECN codepoints and flow classification.
+
+The two-bit ECN field in the IP header distinguishes (RFC 3168, RFC 9331):
+
+* ``NOT_ECT`` (00) -- sender does not understand ECN.
+* ``ECT1``   (01) -- ECN-capable, L4S identifier (scalable congestion control).
+* ``ECT0``   (10) -- ECN-capable, classic.
+* ``CE``     (11) -- congestion experienced, set by a marking middlebox.
+
+L4Span classifies each downlink packet into the L4S or classic service by this
+field (paper §4.1: "01 for L4S ECN flows, 10 for classic ECN flows").
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ECN(enum.IntEnum):
+    """The ECN codepoint carried in the IP header."""
+
+    NOT_ECT = 0b00
+    ECT1 = 0b01
+    ECT0 = 0b10
+    CE = 0b11
+
+
+class FlowClass(enum.Enum):
+    """Service class L4Span assigns to a flow from its ECN codepoint."""
+
+    L4S = "l4s"
+    CLASSIC = "classic"
+    NON_ECN = "non_ecn"
+
+
+def classify_ecn(codepoint: ECN) -> FlowClass:
+    """Map an ECN codepoint to the service class used for marking decisions.
+
+    A ``CE``-marked arrival is ambiguous (an upstream router already marked
+    it); we treat it as L4S because only scalable flows are expected to see
+    frequent CE, matching DualPi2's classifier which keys on ECT(1) or CE.
+    """
+    if codepoint == ECN.ECT1 or codepoint == ECN.CE:
+        return FlowClass.L4S
+    if codepoint == ECN.ECT0:
+        return FlowClass.CLASSIC
+    return FlowClass.NON_ECN
+
+
+def is_ecn_capable(codepoint: ECN) -> bool:
+    """True when the packet may be CE-marked instead of dropped."""
+    return codepoint != ECN.NOT_ECT

@@ -1,0 +1,70 @@
+"""Fixed-delay pass-through elements.
+
+The wide-area path between the content server and the 5G core is modelled as
+a :class:`DelayPipe` whose one-way delay is half the uncongested ping time
+reported in the paper (38 ms or 106 ms RTT to the Azure instances).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.base import PacketSink
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+
+class DelayPipe:
+    """Deliver each packet to ``sink`` after a constant delay.
+
+    The pipe has infinite capacity: it models propagation, not queueing.
+    """
+
+    def __init__(self, sim: Simulator, delay: float,
+                 sink: Optional[PacketSink] = None,
+                 name: str = "pipe") -> None:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self._sim = sim
+        self.delay = delay
+        self.sink = sink
+        self.name = name
+        self.forwarded_packets = 0
+        self.forwarded_bytes = 0
+
+    def receive(self, packet: Packet) -> None:
+        self.forwarded_packets += 1
+        self.forwarded_bytes += packet.size
+        if self.delay == 0:
+            self._deliver(packet)
+        else:
+            self._sim.schedule(self.delay, self._deliver, packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        if self.sink is not None:
+            self.sink.receive(packet)
+
+
+class VariableDelayPipe(DelayPipe):
+    """A delay pipe whose latency can be changed while the simulation runs.
+
+    Packets in flight keep the delay that was current when they entered, so
+    reordering cannot be introduced by lowering the delay mid-run unless the
+    caller wants exactly that behaviour (``allow_reorder=True``).
+    """
+
+    def __init__(self, sim: Simulator, delay: float,
+                 sink: Optional[PacketSink] = None,
+                 name: str = "vpipe", allow_reorder: bool = False) -> None:
+        super().__init__(sim, delay, sink, name)
+        self._allow_reorder = allow_reorder
+        self._last_delivery = 0.0
+
+    def receive(self, packet: Packet) -> None:
+        self.forwarded_packets += 1
+        self.forwarded_bytes += packet.size
+        delivery = self._sim.now + self.delay
+        if not self._allow_reorder:
+            delivery = max(delivery, self._last_delivery)
+        self._last_delivery = delivery
+        self._sim.schedule_at(delivery, self._deliver, packet)

@@ -1,0 +1,71 @@
+"""The 5G core / UPF: routing between the WAN and the RAN.
+
+The core forwards downlink datagrams to the gNB serving their destination UE
+and uplink datagrams back onto the wide-area path of their flow.  A small GTP-U
+encapsulation/processing latency is modelled; the core performs no queueing of
+its own (the paper's bottleneck is always the RAN or an explicit wired
+middlebox).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.base import PacketSink
+from repro.net.packet import Packet
+from repro.ran.identifiers import UeId
+from repro.sim.engine import Simulator
+from repro.units import us
+
+
+class FiveGCore:
+    """UPF-style router between the WAN and one or more gNBs."""
+
+    def __init__(self, sim: Simulator, processing_delay: float = us(150),
+                 name: str = "5gc") -> None:
+        self._sim = sim
+        self.name = name
+        self.processing_delay = processing_delay
+        self._downlink_routes: dict[str, tuple[object, UeId]] = {}
+        self._uplink_routes: dict[int, PacketSink] = {}
+        self._default_uplink: Optional[PacketSink] = None
+        self.downlink_packets = 0
+        self.uplink_packets = 0
+
+    # ------------------------------------------------------------------ #
+    # Routing table management
+    # ------------------------------------------------------------------ #
+    def register_ue_address(self, ip_address: str, gnb, ue_id: UeId) -> None:
+        """Route downlink packets destined to ``ip_address`` to ``gnb``/``ue_id``."""
+        self._downlink_routes[ip_address] = (gnb, ue_id)
+
+    def register_uplink_route(self, flow_id: int, sink: PacketSink) -> None:
+        """Route uplink packets of ``flow_id`` (ACKs) onto their WAN return path."""
+        self._uplink_routes[flow_id] = sink
+
+    def set_default_uplink(self, sink: PacketSink) -> None:
+        """Fallback WAN sink for uplink packets of unregistered flows."""
+        self._default_uplink = sink
+
+    # ------------------------------------------------------------------ #
+    # Data plane
+    # ------------------------------------------------------------------ #
+    def receive(self, packet: Packet) -> None:
+        """Downlink entry point (the WAN path's sink)."""
+        route = self._downlink_routes.get(packet.five_tuple.dst_ip)
+        if route is None:
+            raise KeyError(
+                f"no UE registered for {packet.five_tuple.dst_ip}")
+        gnb, ue_id = route
+        self.downlink_packets += 1
+        packet.stamp("core_ingress", self._sim.now)
+        self._sim.schedule(self.processing_delay, gnb.receive_downlink,
+                           packet, ue_id)
+
+    def receive_uplink(self, packet: Packet) -> None:
+        """Uplink entry point (the gNB's CU feeds packets here)."""
+        self.uplink_packets += 1
+        sink = self._uplink_routes.get(packet.flow_id, self._default_uplink)
+        if sink is None:
+            return
+        self._sim.schedule(self.processing_delay, sink.receive, packet)

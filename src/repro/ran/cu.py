@@ -1,0 +1,86 @@
+"""The Central Unit user plane: SDAP + PDCP per UE, plus the marker hook.
+
+Downlink packets from the 5G core enter here.  The CU asks the attached
+marker (L4Span, a baseline, or the no-op) to observe/mark the packet, maps it
+to a bearer via SDAP, numbers it in PDCP and ships it to the DU over F1-U.
+Uplink packets pass through the marker on their way back to the core, which is
+where feedback short-circuiting happens.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.base import PacketSink
+from repro.net.packet import Packet
+from repro.ran.f1u import DeliveryStatus, F1UInterface
+from repro.ran.identifiers import DrbId, UeId
+from repro.ran.marker import NoopMarker, RanMarker
+from repro.ran.pdcp import PdcpEntity
+from repro.ran.sdap import SdapEntity
+from repro.ran.ue import UeContext
+from repro.sim.engine import Simulator
+
+
+class CentralUnitUserPlane:
+    """Per-UE SDAP/PDCP state and the in-RAN marker attachment point."""
+
+    def __init__(self, sim: Simulator, f1u: F1UInterface,
+                 marker: Optional[RanMarker] = None,
+                 name: str = "cu-up") -> None:
+        self._sim = sim
+        self.f1u = f1u
+        self.name = name
+        self.marker: RanMarker = marker if marker is not None else NoopMarker()
+        self._sdap: dict[UeId, SdapEntity] = {}
+        self._pdcp: dict[tuple[UeId, DrbId], PdcpEntity] = {}
+        #: uplink packets leave the RAN through this sink (towards the UPF).
+        self.uplink_sink: Optional[PacketSink] = None
+        self.downlink_packets = 0
+        self.uplink_packets = 0
+        f1u.connect_cu(self._on_delivery_status)
+
+    # ------------------------------------------------------------------ #
+    # Attachment
+    # ------------------------------------------------------------------ #
+    def attach_ue(self, ue: UeContext) -> None:
+        """Create the SDAP and PDCP entities for a newly attached UE."""
+        drb_configs = ue.config.drb_configs()
+        self._sdap[ue.ue_id] = SdapEntity(ue.ue_id, drb_configs)
+        for config in drb_configs:
+            self._pdcp[(ue.ue_id, config.drb_id)] = PdcpEntity(
+                ue.ue_id, config, self.f1u.send_downlink_sdu)
+
+    def set_marker(self, marker: RanMarker) -> None:
+        """Attach (or replace) the in-RAN marking layer."""
+        self.marker = marker
+
+    # ------------------------------------------------------------------ #
+    # Downlink
+    # ------------------------------------------------------------------ #
+    def receive_downlink(self, packet: Packet, ue_id: UeId) -> None:
+        """Process a downlink datagram from the 5G core for ``ue_id``."""
+        sdap = self._sdap.get(ue_id)
+        if sdap is None:
+            raise KeyError(f"UE {ue_id} is not attached to {self.name}")
+        self.downlink_packets += 1
+        packet.stamp("cu_ingress", self._sim.now)
+        drb_id = sdap.drb_for_packet(packet)
+        self.marker.on_downlink_packet(packet, ue_id, drb_id, self._sim.now)
+        self._pdcp[(ue_id, drb_id)].submit(packet)
+
+    # ------------------------------------------------------------------ #
+    # Uplink
+    # ------------------------------------------------------------------ #
+    def receive_uplink(self, packet: Packet, ue_id: UeId) -> None:
+        """Process an uplink packet from ``ue_id`` on its way to the core."""
+        self.uplink_packets += 1
+        self.marker.on_uplink_packet(packet, self._sim.now)
+        if self.uplink_sink is not None:
+            self.uplink_sink.receive(packet)
+
+    # ------------------------------------------------------------------ #
+    # F1-U feedback
+    # ------------------------------------------------------------------ #
+    def _on_delivery_status(self, status: DeliveryStatus) -> None:
+        self.marker.on_ran_feedback(status, self._sim.now)

@@ -1,0 +1,144 @@
+"""The Distributed Unit: RLC entities plus the MAC scheduler.
+
+The DU owns one :class:`~repro.ran.rlc.RlcEntity` per (UE, DRB).  Downlink
+SDUs arrive from the CU over F1-U and join their bearer's RLC queue; the MAC
+scheduler drains those queues slot by slot.  The DU also emits the F1-U
+delivery-status reports that feed L4Span's packet profile table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+from repro.ran.cell import CellConfig
+from repro.ran.f1u import DeliveryStatus, F1UInterface
+from repro.ran.identifiers import DrbId, DrbKey, UeId
+from repro.ran.mac import MacScheduler, SchedulerPolicy
+from repro.ran.phy import AirInterface, AirInterfaceConfig
+from repro.ran.rlc import RlcEntity
+from repro.ran.ue import UeContext
+from repro.sim.engine import Simulator
+
+
+class DistributedUnit:
+    """RLC + MAC + air interface for one cell."""
+
+    def __init__(self, sim: Simulator, cell: CellConfig, f1u: F1UInterface,
+                 scheduler_policy: SchedulerPolicy = SchedulerPolicy.ROUND_ROBIN,
+                 air_config: Optional[AirInterfaceConfig] = None) -> None:
+        self._sim = sim
+        self.cell = cell
+        self.f1u = f1u
+        self.air = AirInterface(sim, air_config)
+        self.mac = MacScheduler(sim, cell, policy=scheduler_policy)
+        self._rlc: dict[DrbKey, RlcEntity] = {}
+        self._ue_drbs: dict[UeId, list[DrbId]] = {}
+        self._pull_rotation: dict[UeId, int] = {}
+        f1u.connect_du(self.handle_downlink_sdu)
+
+    # ------------------------------------------------------------------ #
+    # UE attachment
+    # ------------------------------------------------------------------ #
+    def attach_ue(self, ue: UeContext) -> None:
+        """Create the RLC entities for a UE and register it with the MAC."""
+        drb_ids: list[DrbId] = []
+        for drb_config in ue.config.drb_configs():
+            key = DrbKey(ue.ue_id, drb_config.drb_id)
+            self._rlc[key] = RlcEntity(
+                self._sim, ue.ue_id, drb_config, self.air,
+                deliver=ue.deliver,
+                send_status=self._make_status_sender(ue.ue_id,
+                                                     drb_config.drb_id))
+            drb_ids.append(drb_config.drb_id)
+        self._ue_drbs[ue.ue_id] = drb_ids
+        self._pull_rotation[ue.ue_id] = 0
+        self.mac.register_ue(
+            ue.ue_id, ue.channel,
+            backlog_bytes=lambda ue_id=ue.ue_id: self.ue_backlog_bytes(ue_id),
+            pull=lambda grant, ue_id=ue.ue_id: self.pull_for_ue(ue_id, grant))
+
+    def _make_status_sender(self, ue_id: UeId, drb_id: DrbId):
+        def send_status(highest_txed_sn, highest_delivered_sn, timestamp):
+            self.f1u.send_delivery_status(DeliveryStatus(
+                ue_id=ue_id, drb_id=drb_id,
+                highest_txed_sn=highest_txed_sn,
+                highest_delivered_sn=highest_delivered_sn,
+                timestamp=timestamp))
+        return send_status
+
+    # ------------------------------------------------------------------ #
+    # Downlink ingress (from CU over F1-U)
+    # ------------------------------------------------------------------ #
+    def handle_downlink_sdu(self, ue_id: UeId, drb_id: DrbId, sn: int,
+                            packet: Packet) -> None:
+        """Enqueue a PDCP SDU into its bearer's RLC queue."""
+        entity = self._rlc.get(DrbKey(ue_id, drb_id))
+        if entity is None:
+            raise KeyError(f"no RLC entity for ue{ue_id}/drb{drb_id}")
+        entity.enqueue(sn, packet)
+
+    # ------------------------------------------------------------------ #
+    # Queue state and MAC grants
+    # ------------------------------------------------------------------ #
+    def rlc_entity(self, ue_id: UeId, drb_id: DrbId) -> RlcEntity:
+        """Direct access to a bearer's RLC entity (probes and tests)."""
+        return self._rlc[DrbKey(ue_id, drb_id)]
+
+    def ue_backlog_bytes(self, ue_id: UeId) -> int:
+        """Total RLC backlog across all bearers of one UE."""
+        return sum(self._rlc[DrbKey(ue_id, drb)].backlog_bytes
+                   for drb in self._ue_drbs.get(ue_id, ()))
+
+    def pull_for_ue(self, ue_id: UeId, grant_bytes: int) -> int:
+        """Distribute a MAC grant across the UE's backlogged bearers.
+
+        Bearers are served round-robin (rotating the starting bearer every
+        grant) with an equal split of the grant; any bytes a bearer cannot
+        use are offered to the remaining bearers, so a grant is never wasted
+        while any bearer has backlog.
+        """
+        drbs = self._ue_drbs.get(ue_id, [])
+        if not drbs:
+            return 0
+        backlogged = [d for d in drbs
+                      if self._rlc[DrbKey(ue_id, d)].backlog_bytes > 0]
+        if not backlogged:
+            return 0
+        rotation = self._pull_rotation[ue_id] % len(backlogged)
+        self._pull_rotation[ue_id] += 1
+        ordered = backlogged[rotation:] + backlogged[:rotation]
+        remaining = grant_bytes
+        used_total = 0
+        share = max(1, grant_bytes // len(ordered))
+        for index, drb_id in enumerate(ordered):
+            entity = self._rlc[DrbKey(ue_id, drb_id)]
+            budget = remaining if index == len(ordered) - 1 else min(share,
+                                                                     remaining)
+            used = entity.pull(budget)
+            used_total += used
+            remaining -= used
+            if remaining <= 0:
+                break
+        # Second pass: hand any leftover grant to bearers that still have data.
+        if remaining > 0:
+            for drb_id in ordered:
+                entity = self._rlc[DrbKey(ue_id, drb_id)]
+                if entity.backlog_bytes <= 0:
+                    continue
+                used = entity.pull(remaining)
+                used_total += used
+                remaining -= used
+                if remaining <= 0:
+                    break
+        return used_total
+
+    # ------------------------------------------------------------------ #
+    def queue_length_report(self) -> dict[DrbKey, int]:
+        """RLC queue length (in SDUs) of every bearer."""
+        return {key: entity.queue_length_sdus
+                for key, entity in self._rlc.items()}
+
+    def stop(self) -> None:
+        """Stop the MAC slot clock."""
+        self.mac.stop()

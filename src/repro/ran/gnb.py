@@ -1,0 +1,105 @@
+"""The gNB: CU-UP + F1-U + DU assembled into one attachable unit."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.base import PacketSink
+from repro.net.packet import Packet
+from repro.ran.cell import CellConfig
+from repro.ran.cu import CentralUnitUserPlane
+from repro.ran.du import DistributedUnit
+from repro.ran.f1u import F1UInterface
+from repro.ran.identifiers import UeId
+from repro.ran.mac import SchedulerPolicy
+from repro.ran.marker import RanMarker
+from repro.ran.phy import AirInterfaceConfig
+from repro.ran.ue import UeContext
+from repro.sim.engine import Simulator
+
+
+class GNodeB:
+    """A complete base station.
+
+    Args:
+        sim: simulator.
+        cell: radio configuration.
+        scheduler_policy: MAC policy (RR / PF).
+        marker: the in-RAN marking layer (defaults to no-op).
+        air_config: air-interface delay/HARQ configuration.
+    """
+
+    def __init__(self, sim: Simulator, cell: Optional[CellConfig] = None,
+                 scheduler_policy: SchedulerPolicy = SchedulerPolicy.ROUND_ROBIN,
+                 marker: Optional[RanMarker] = None,
+                 air_config: Optional[AirInterfaceConfig] = None,
+                 name: str = "gnb") -> None:
+        self._sim = sim
+        self.name = name
+        self.cell = cell if cell is not None else CellConfig()
+        self.f1u = F1UInterface(sim, name=f"{name}-f1u")
+        self.cu = CentralUnitUserPlane(sim, self.f1u, marker=marker,
+                                       name=f"{name}-cu")
+        self.du = DistributedUnit(sim, self.cell, self.f1u,
+                                  scheduler_policy=scheduler_policy,
+                                  air_config=air_config)
+        self._ues: dict[UeId, UeContext] = {}
+
+    # ------------------------------------------------------------------ #
+    # Attachment and wiring
+    # ------------------------------------------------------------------ #
+    def attach_ue(self, ue: UeContext) -> None:
+        """Attach a UE: creates CU and DU state and wires the uplink path."""
+        if ue.ue_id in self._ues:
+            raise ValueError(f"UE {ue.ue_id} already attached to {self.name}")
+        self._ues[ue.ue_id] = ue
+        self.cu.attach_ue(ue)
+        self.du.attach_ue(ue)
+        ue.uplink_sink = self.cu.receive_uplink
+        ue.uplink.active_ue_count = lambda: len(self._ues)
+
+    def set_marker(self, marker: RanMarker) -> None:
+        """Attach the in-RAN marking layer (L4Span, a baseline, or no-op)."""
+        self.cu.set_marker(marker)
+
+    @property
+    def marker(self) -> RanMarker:
+        """The currently attached marking layer."""
+        return self.cu.marker
+
+    @property
+    def uplink_sink(self) -> Optional[PacketSink]:
+        """Where uplink packets go after the CU (normally the 5G core)."""
+        return self.cu.uplink_sink
+
+    @uplink_sink.setter
+    def uplink_sink(self, sink: Optional[PacketSink]) -> None:
+        self.cu.uplink_sink = sink
+
+    # ------------------------------------------------------------------ #
+    # Data plane entry points
+    # ------------------------------------------------------------------ #
+    def receive_downlink(self, packet: Packet, ue_id: UeId) -> None:
+        """Downlink datagram from the core destined to ``ue_id``."""
+        self.cu.receive_downlink(packet, ue_id)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def ue(self, ue_id: UeId) -> UeContext:
+        """Look up an attached UE."""
+        return self._ues[ue_id]
+
+    @property
+    def ue_ids(self) -> list[UeId]:
+        """Identifiers of every attached UE."""
+        return list(self._ues)
+
+    def rlc_queue_lengths(self) -> dict[str, int]:
+        """RLC queue length (SDUs) per bearer, keyed by "ueX/drbY"."""
+        return {str(key): length
+                for key, length in self.du.queue_length_report().items()}
+
+    def stop(self) -> None:
+        """Stop periodic machinery (MAC slot clock)."""
+        self.du.stop()

@@ -1,0 +1,39 @@
+"""PDCP entity: sequence numbering per DRB.
+
+The PDCP layer assigns each downlink SDU a sequence number (the COUNT) that
+the RLC's F1-U delivery reports refer back to.  Header compression, ciphering
+and integrity protection are irrelevant to queueing behaviour and are not
+modelled.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.packet import Packet
+from repro.ran.identifiers import DrbConfig, DrbId, UeId
+
+
+class PdcpEntity:
+    """Per-DRB sequence numbering and hand-off to the F1-U interface."""
+
+    def __init__(self, ue_id: UeId, config: DrbConfig,
+                 send_downlink: Callable[[UeId, DrbId, int, Packet], None]) -> None:
+        self.ue_id = ue_id
+        self.config = config
+        self.drb_id: DrbId = config.drb_id
+        self._send_downlink = send_downlink
+        self.next_sn = 0
+        self.submitted_sdus = 0
+
+    def submit(self, packet: Packet) -> int:
+        """Assign the next sequence number to ``packet`` and forward it to the DU.
+
+        Returns the assigned sequence number.
+        """
+        sn = self.next_sn
+        self.next_sn += 1
+        self.submitted_sdus += 1
+        packet.payload_info["pdcp_sn"] = sn
+        self._send_downlink(self.ue_id, self.drb_id, sn, packet)
+        return sn

@@ -1,0 +1,72 @@
+"""MAC/PHY transmission and HARQ delay model.
+
+Once the RLC hands a transport block to the lower layers, the block incurs:
+
+* a fixed processing-plus-air-interface latency (slot alignment, encoding,
+  over-the-air transmission, UE decode), and
+* zero or more HARQ retransmissions, each adding one HARQ round-trip
+  (~8 ms in the paper's footnote 1), drawn from a geometric process with the
+  configured block error rate.
+
+A block that exhausts its HARQ attempts is reported *failed*; the RLC then
+either retransmits it (AM) or loses it (UM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.engine import Simulator
+from repro.units import ms
+
+
+@dataclass
+class AirInterfaceConfig:
+    """Tunable constants of the transmission-delay model."""
+
+    base_delay: float = ms(2.0)
+    harq_rtt: float = ms(8.0)
+    max_harq_attempts: int = 4
+    target_bler: float = 0.10
+    delivery_jitter: float = ms(0.5)
+
+
+class AirInterface:
+    """Computes per-transport-block delivery outcomes and delays."""
+
+    def __init__(self, sim: Simulator, config: AirInterfaceConfig | None = None,
+                 stream_name: str = "air") -> None:
+        self._sim = sim
+        self.config = config if config is not None else AirInterfaceConfig()
+        self._stream_name = stream_name
+        self.transmitted_blocks = 0
+        self.harq_retransmissions = 0
+        self.failed_blocks = 0
+
+    def transmit(self, ue_id: int,
+                 on_delivered: Callable[[float], None],
+                 on_failed: Callable[[float], None]) -> None:
+        """Simulate the air-interface fate of one transport block.
+
+        Either ``on_delivered(delivery_time)`` or ``on_failed(failure_time)``
+        is scheduled, never both.
+        """
+        cfg = self.config
+        self.transmitted_blocks += 1
+        attempts = 1
+        stream = f"{self._stream_name}-ue{ue_id}"
+        while (attempts < cfg.max_harq_attempts
+               and self._sim.random.bernoulli(stream, cfg.target_bler)):
+            attempts += 1
+            self.harq_retransmissions += 1
+        delay = cfg.base_delay + (attempts - 1) * cfg.harq_rtt
+        if cfg.delivery_jitter > 0:
+            delay += self._sim.random.uniform(f"{stream}-jitter") * cfg.delivery_jitter
+        final_attempt_failed = self._sim.random.bernoulli(
+            stream, cfg.target_bler) and attempts >= cfg.max_harq_attempts
+        if final_attempt_failed:
+            self.failed_blocks += 1
+            self._sim.schedule(delay, on_failed, self._sim.now + delay)
+        else:
+            self._sim.schedule(delay, on_delivered, self._sim.now + delay)

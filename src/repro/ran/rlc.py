@@ -1,0 +1,263 @@
+"""The RLC entity: the queue where 5G downlink latency is born.
+
+One :class:`RlcEntity` exists per (UE, DRB).  Downlink PDCP SDUs wait in its
+transmission queue until the MAC scheduler grants the UE transmission
+opportunities; the entity then segments SDUs into the granted transport-block
+bytes, hands them to the air interface, and -- in acknowledged mode --
+retransmits blocks the air interface ultimately fails to deliver.
+
+The entity reports *downlink data delivery status* over F1-U whenever it
+transmits an SDU (highest transmitted SN) and, in AM, whenever the UE's RLC
+acknowledges delivery (highest delivered SN).  These reports are the only
+visibility L4Span has into the queue (paper §4.3.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+from repro.ran.identifiers import DrbConfig, DrbId, RlcMode, UeId
+from repro.ran.phy import AirInterface
+from repro.sim.engine import Simulator
+from repro.units import ms
+
+
+@dataclass
+class RlcSdu:
+    """One PDCP SDU sitting in (or moving through) the RLC."""
+
+    sn: int
+    packet: Packet
+    size: int
+    ingress_time: float
+    remaining: int = field(default=0)
+    retransmissions: int = 0
+    transmitted_time: Optional[float] = None
+    delivered_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.remaining == 0:
+            self.remaining = self.size
+
+
+class RlcEntity:
+    """Transmission (and, for AM, retransmission) queue of one bearer.
+
+    Args:
+        sim: simulator.
+        ue_id / config: owning UE and bearer configuration.
+        air: the air-interface delay model used for transmitted blocks.
+        deliver: callback ``deliver(packet, delivery_time)`` invoked when an
+            SDU reaches the UE.
+        send_status: callback taking ``(highest_txed_sn, highest_delivered_sn,
+            timestamp)`` used to emit F1-U delivery-status reports.
+        status_delay: latency between a delivery event at the UE and the RLC
+            ACK reaching the DU (models the UE status-reporting cadence).
+    """
+
+    def __init__(self, sim: Simulator, ue_id: UeId, config: DrbConfig,
+                 air: AirInterface,
+                 deliver: Callable[[Packet, float], None],
+                 send_status: Callable[[Optional[int], Optional[int], float], None],
+                 status_delay: float = ms(10.0)) -> None:
+        self._sim = sim
+        self.ue_id = ue_id
+        self.config = config
+        self.drb_id: DrbId = config.drb_id
+        self._air = air
+        self._deliver = deliver
+        self._send_status = send_status
+        self.status_delay = status_delay
+
+        self._tx_queue: deque[RlcSdu] = deque()
+        self._retx_queue: deque[RlcSdu] = deque()
+        self.highest_txed_sn: Optional[int] = None
+        self.highest_delivered_sn: Optional[int] = None
+
+        self.enqueued_sdus = 0
+        self.dropped_sdus = 0
+        self.delivered_sdus = 0
+        self.lost_sdus = 0
+        self.transmitted_bytes = 0
+        self._queue_bytes = 0
+
+        # In-order delivery towards the UE's upper layers: SDUs whose air
+        # transfer finished out of order wait here until the gap closes (or,
+        # in UM, until the reassembly timer gives up on the gap).
+        self._next_delivery_sn = 0
+        self._pending_delivery: dict[int, tuple[RlcSdu, float]] = {}
+        self._skipped_sns: set[int] = set()
+        self.reassembly_timeout = ms(40.0)
+        self._delivery_report_pending = False
+
+    # ------------------------------------------------------------------ #
+    # Ingress (from PDCP over F1-U)
+    # ------------------------------------------------------------------ #
+    def enqueue(self, sn: int, packet: Packet) -> bool:
+        """Append one SDU to the transmission queue.
+
+        Returns False (and drops the SDU) when the queue already holds
+        ``max_queue_sdus`` SDUs, mirroring srsRAN's bounded RLC queue.
+        """
+        if self.queue_length_sdus >= self.config.max_queue_sdus:
+            self.dropped_sdus += 1
+            return False
+        now = self._sim.now
+        packet.stamp("rlc_enqueue", now)
+        sdu = RlcSdu(sn=sn, packet=packet, size=packet.size, ingress_time=now)
+        if not self._tx_queue and not self._retx_queue:
+            packet.stamp("rlc_head", now)
+        self._tx_queue.append(sdu)
+        self._queue_bytes += sdu.size
+        self.enqueued_sdus += 1
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Queue state
+    # ------------------------------------------------------------------ #
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes waiting for a transmission grant (tx + re-tx queues)."""
+        return self._queue_bytes
+
+    @property
+    def queue_length_sdus(self) -> int:
+        """Number of SDUs waiting (the unit the paper's Fig. 17 reports)."""
+        return len(self._tx_queue) + len(self._retx_queue)
+
+    def head_of_line_wait(self) -> float:
+        """Seconds the current head SDU has waited since reaching the head."""
+        head = self._head()
+        if head is None:
+            return 0.0
+        stamp = head.packet.timestamps.get("rlc_head", head.ingress_time)
+        return max(0.0, self._sim.now - stamp)
+
+    def _head(self) -> Optional[RlcSdu]:
+        if self._retx_queue:
+            return self._retx_queue[0]
+        if self._tx_queue:
+            return self._tx_queue[0]
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Egress (MAC grant)
+    # ------------------------------------------------------------------ #
+    def pull(self, grant_bytes: int) -> int:
+        """Consume up to ``grant_bytes`` from the queues; returns bytes used.
+
+        SDUs are segmented: a grant smaller than the head SDU reduces its
+        ``remaining`` counter, and the SDU is only considered *transmitted*
+        (triggering the F1-U report and the air-interface transfer) when its
+        last segment leaves.  One delivery-status report is emitted per grant
+        (not per SDU), mirroring the batched DDDS reports of a real DU.
+        """
+        now = self._sim.now
+        used = 0
+        transmitted_any = False
+        while grant_bytes - used > 0:
+            queue = self._retx_queue if self._retx_queue else self._tx_queue
+            if not queue:
+                break
+            sdu = queue[0]
+            sdu.packet.stamp("rlc_head", now)
+            take = min(sdu.remaining, grant_bytes - used)
+            sdu.remaining -= take
+            used += take
+            if sdu.remaining > 0:
+                break
+            queue.popleft()
+            self._queue_bytes -= sdu.size
+            self._on_sdu_transmitted(sdu)
+            transmitted_any = True
+            nxt = self._head()
+            if nxt is not None:
+                nxt.packet.stamp("rlc_head", now)
+        self.transmitted_bytes += used
+        if transmitted_any:
+            self._send_status(self.highest_txed_sn, self.highest_delivered_sn,
+                              now)
+        return used
+
+    # ------------------------------------------------------------------ #
+    # Transmission outcome handling
+    # ------------------------------------------------------------------ #
+    def _on_sdu_transmitted(self, sdu: RlcSdu) -> None:
+        now = self._sim.now
+        sdu.transmitted_time = now
+        sdu.packet.stamp_override("rlc_dequeue", now)
+        if self.highest_txed_sn is None or sdu.sn > self.highest_txed_sn:
+            self.highest_txed_sn = sdu.sn
+        self._air.transmit(
+            self.ue_id,
+            on_delivered=lambda t, s=sdu: self._on_sdu_delivered(s, t),
+            on_failed=lambda t, s=sdu: self._on_sdu_failed(s, t))
+
+    def _on_sdu_delivered(self, sdu: RlcSdu, delivery_time: float) -> None:
+        sdu.delivered_time = delivery_time
+        self.delivered_sdus += 1
+        self._pending_delivery[sdu.sn] = (sdu, delivery_time)
+        self._flush_in_order()
+        if (self.config.rlc_mode == RlcMode.UM
+                and sdu.sn > self._next_delivery_sn):
+            # A gap ahead of this SDU will never be retransmitted in UM;
+            # give it one reassembly-timer's grace, then skip it.
+            self._sim.schedule(self.reassembly_timeout,
+                               self._um_reassembly_expiry, sdu.sn)
+        if self.config.rlc_mode == RlcMode.AM:
+            if self.highest_delivered_sn is None or sdu.sn > self.highest_delivered_sn:
+                self.highest_delivered_sn = sdu.sn
+            if not self._delivery_report_pending:
+                self._delivery_report_pending = True
+                self._sim.schedule(self.status_delay, self._report_delivery)
+
+    def _flush_in_order(self) -> None:
+        """Hand every in-sequence pending SDU to the UE, in SN order."""
+        while True:
+            if self._next_delivery_sn in self._skipped_sns:
+                self._skipped_sns.discard(self._next_delivery_sn)
+                self._next_delivery_sn += 1
+                continue
+            item = self._pending_delivery.pop(self._next_delivery_sn, None)
+            if item is None:
+                return
+            sdu, delivery_time = item
+            sdu.packet.stamp("ue_delivered", self._sim.now)
+            self._deliver(sdu.packet, self._sim.now)
+            self._next_delivery_sn += 1
+
+    def _um_reassembly_expiry(self, received_sn: int) -> None:
+        """UM reassembly timer: give up on gaps below an SDU already received."""
+        if received_sn < self._next_delivery_sn:
+            return
+        for sn in range(self._next_delivery_sn, received_sn):
+            if sn not in self._pending_delivery:
+                self._skipped_sns.add(sn)
+        self._flush_in_order()
+
+    def _report_delivery(self) -> None:
+        self._delivery_report_pending = False
+        self._send_status(self.highest_txed_sn, self.highest_delivered_sn,
+                          self._sim.now)
+
+    def _on_sdu_failed(self, sdu: RlcSdu, failure_time: float) -> None:
+        if self.config.rlc_mode == RlcMode.AM and sdu.retransmissions < 8:
+            sdu.retransmissions += 1
+            sdu.remaining = sdu.size
+            self._retx_queue.append(sdu)
+            self._queue_bytes += sdu.size
+        else:
+            self.lost_sdus += 1
+            # Never block in-order delivery on an SDU that will not arrive.
+            if sdu.sn >= self._next_delivery_sn:
+                self._skipped_sns.add(sdu.sn)
+                self._flush_in_order()
+
+    # ------------------------------------------------------------------ #
+    def queued_sdu_sizes(self) -> list[int]:
+        """Sizes of every SDU still waiting, head first (used by probes)."""
+        return ([s.size for s in self._retx_queue]
+                + [s.size for s in self._tx_queue])

@@ -1,0 +1,14 @@
+"""Discrete-event simulation engine used by every substrate in the library."""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import PeriodicProcess
+from repro.sim.randomness import RandomStreams
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "PeriodicProcess",
+    "RandomStreams",
+]

@@ -1,0 +1,110 @@
+"""The simulation engine: a clock plus an event queue.
+
+Every component in the library receives a :class:`Simulator` and schedules
+work on it.  The engine is deliberately small -- the interesting behaviour
+lives in the network, RAN and congestion-control components.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.randomness import RandomStreams
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is used inconsistently (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Discrete-event simulator with a float-seconds clock.
+
+    Args:
+        seed: master seed for all random streams drawn via :attr:`random`.
+
+    Example::
+
+        sim = Simulator(seed=1)
+        fired = []
+        sim.schedule(0.5, lambda: fired.append(sim.now))
+        sim.run(until=1.0)
+        assert fired == [0.5]
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.events = EventQueue()
+        self.random = RandomStreams(seed)
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} s in the past")
+        return self.events.push(self.now + delay, callback, args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None],
+                    *args) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f} s, current time is {self.now:.6f} s")
+        return self.events.push(time, callback, args)
+
+    def call_soon(self, callback: Callable[..., None], *args) -> Event:
+        """Schedule a callback for the current instant (after pending same-time events)."""
+        return self.events.push(self.now, callback, args)
+
+    # ------------------------------------------------------------------ #
+    # Running
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Process one event.  Returns ``False`` when the queue is empty."""
+        event = self.events.pop()
+        if event is None:
+            return False
+        if event.time < self.now:
+            raise SimulationError("event queue returned an event in the past")
+        self.now = event.time
+        event.callback(*event.args)
+        self._processed += 1
+        return True
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
+
+        Returns the number of events processed by this call.
+        """
+        processed_before = self._processed
+        self._running = True
+        try:
+            while self._running:
+                if max_events is not None and (
+                        self._processed - processed_before) >= max_events:
+                    break
+                next_time = self.events.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                self.step()
+        finally:
+            self._running = False
+        return self._processed - processed_before
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._running = False
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events processed since construction."""
+        return self._processed

@@ -1,0 +1,82 @@
+"""Event objects and the pending-event queue.
+
+The queue is a binary heap keyed on ``(time, sequence)``.  The sequence number
+breaks ties deterministically so two events scheduled for the same instant
+always fire in the order they were scheduled, which keeps simulations
+reproducible across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Attributes:
+        time: absolute simulation time, in seconds, at which to fire.
+        sequence: tie-breaking counter assigned by the queue.
+        callback: callable invoked as ``callback(*args)``; not part of the
+            ordering key.
+        args: positional arguments for the callback.
+        cancelled: events are cancelled lazily -- the queue skips them when
+            they reach the head of the heap.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the engine skips it when it pops."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, callback: Callable[..., None],
+             args: tuple = ()) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time`` and return the event."""
+        event = Event(time=time, sequence=next(self._counter),
+                      callback=callback, args=args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+
+def never(*_args: Any) -> None:
+    """A no-op callback, useful as a placeholder in tests."""

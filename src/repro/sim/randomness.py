@@ -1,0 +1,60 @@
+"""Named, independently-seeded random streams.
+
+Each subsystem (channel model for UE 3, loss process on the air interface,
+marking coin flips, ...) draws from its own stream so that changing one part
+of a scenario does not perturb the random sequence seen by the others.  This
+is the standard trick for variance reduction and reproducibility in
+discrete-event network simulators.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+class RandomStreams:
+    """Factory of :class:`numpy.random.Generator` objects keyed by name."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """The master seed supplied at construction."""
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it deterministically."""
+        if name not in self._streams:
+            digest = hashlib.sha256(
+                f"{self._seed}:{name}".encode("utf-8")).digest()
+            child_seed = int.from_bytes(digest[:8], "little")
+            self._streams[name] = np.random.default_rng(child_seed)
+        return self._streams[name]
+
+    def uniform(self, name: str) -> float:
+        """Draw a single uniform(0, 1) variate from the named stream."""
+        return float(self.stream(name).random())
+
+    def normal(self, name: str, loc: float = 0.0, scale: float = 1.0) -> float:
+        """Draw a single Gaussian variate from the named stream."""
+        if scale <= 0:
+            return float(loc)
+        return float(self.stream(name).normal(loc, scale))
+
+    def exponential(self, name: str, mean: float) -> float:
+        """Draw a single exponential variate with the given mean."""
+        if mean <= 0:
+            return 0.0
+        return float(self.stream(name).exponential(mean))
+
+    def bernoulli(self, name: str, probability: float) -> bool:
+        """Return ``True`` with the given probability."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self.uniform(name) < probability

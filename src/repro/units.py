@@ -1,0 +1,69 @@
+"""Unit conversion helpers.
+
+All simulation times are plain ``float`` seconds and all data sizes are
+``int`` bytes.  These helpers exist so that experiment code can speak the
+paper's units (milliseconds, megabits per second) without sprinkling magic
+constants.
+"""
+
+from __future__ import annotations
+
+BYTES_PER_KILOBYTE = 1_000
+BYTES_PER_MEGABYTE = 1_000_000
+BITS_PER_BYTE = 8
+
+
+def ms(milliseconds: float) -> float:
+    """Convert milliseconds to seconds."""
+    return milliseconds / 1e3
+
+
+def us(microseconds: float) -> float:
+    """Convert microseconds to seconds."""
+    return microseconds / 1e6
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * 1e3
+
+
+def seconds_to_us(seconds: float) -> float:
+    """Convert seconds to microseconds."""
+    return seconds * 1e6
+
+
+def mbps(megabits_per_second: float) -> float:
+    """Convert Mbit/s to bytes per second."""
+    return megabits_per_second * 1e6 / BITS_PER_BYTE
+
+
+def kbps(kilobits_per_second: float) -> float:
+    """Convert kbit/s to bytes per second."""
+    return kilobits_per_second * 1e3 / BITS_PER_BYTE
+
+
+def to_mbps(bytes_per_second: float) -> float:
+    """Convert bytes per second to Mbit/s."""
+    return bytes_per_second * BITS_PER_BYTE / 1e6
+
+
+def to_kbps(bytes_per_second: float) -> float:
+    """Convert bytes per second to kbit/s."""
+    return bytes_per_second * BITS_PER_BYTE / 1e3
+
+
+def kib(kibibytes: float) -> int:
+    """Convert KiB to bytes."""
+    return int(kibibytes * 1024)
+
+
+def transmission_time(size_bytes: int, rate_bytes_per_s: float) -> float:
+    """Serialisation delay of ``size_bytes`` at ``rate_bytes_per_s``.
+
+    Returns ``float('inf')`` when the rate is zero, which callers treat as
+    "cannot transmit right now".
+    """
+    if rate_bytes_per_s <= 0:
+        return float("inf")
+    return size_bytes / rate_bytes_per_s

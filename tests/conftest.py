@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.addresses import FiveTuple
+from repro.net.ecn import ECN
+from repro.net.packet import make_data_packet
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def five_tuple() -> FiveTuple:
+    """A canonical downlink five-tuple."""
+    return FiveTuple("10.0.0.1", 443, "10.45.0.2", 50_000, "tcp")
+
+
+def make_packet(five_tuple: FiveTuple, seq: int = 0, payload: int = 1400,
+                ecn: ECN = ECN.ECT1, now: float = 0.0, flow_id: int = 0):
+    """Convenience wrapper used across test modules."""
+    return make_data_packet(flow_id, five_tuple, seq, payload, ecn, now)
+
+
+@pytest.fixture
+def packet_factory(five_tuple):
+    """A factory building data packets on the canonical five-tuple."""
+    def factory(seq: int = 0, payload: int = 1400, ecn: ECN = ECN.ECT1,
+                now: float = 0.0, flow_id: int = 0):
+        return make_packet(five_tuple, seq, payload, ecn, now, flow_id)
+    return factory

@@ -1,0 +1,205 @@
+"""Tests for receivers (reassembly, ECN feedback) and the rate-based senders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc.receiver import ScreamReceiver, TcpReceiver, UdpFeedbackReceiver
+from repro.cc.scream import ScreamSender
+from repro.cc.udp_prague import UdpPragueSender
+from repro.net.addresses import FiveTuple
+from repro.net.ecn import ECN
+from repro.net.packet import make_data_packet
+from repro.net.pipe import DelayPipe
+from repro.sim.engine import Simulator
+from repro.units import mbps, to_mbps
+
+
+def _data(five_tuple, seq, payload=1000, ecn=ECN.ECT1, cwr=False, now=0.0):
+    packet = make_data_packet(0, five_tuple, seq, payload, ecn, now)
+    packet.cwr = cwr
+    return packet
+
+
+class TestTcpReceiver:
+    def test_cumulative_ack_advances_in_order(self, sim, five_tuple):
+        acks = []
+        receiver = TcpReceiver(sim, 0, send_feedback=acks.append)
+        receiver.receive(_data(five_tuple, 0))
+        receiver.receive(_data(five_tuple, 1000))
+        assert [a.ack_seq for a in acks] == [1000, 2000]
+
+    def test_out_of_order_generates_duplicate_acks_then_catches_up(
+            self, sim, five_tuple):
+        acks = []
+        receiver = TcpReceiver(sim, 0, send_feedback=acks.append)
+        receiver.receive(_data(five_tuple, 0))
+        receiver.receive(_data(five_tuple, 2000))   # gap at 1000
+        receiver.receive(_data(five_tuple, 3000))   # still gapped
+        receiver.receive(_data(five_tuple, 1000))   # gap filled
+        assert [a.ack_seq for a in acks] == [1000, 1000, 1000, 4000]
+
+    def test_duplicate_data_does_not_regress_ack(self, sim, five_tuple):
+        acks = []
+        receiver = TcpReceiver(sim, 0, send_feedback=acks.append)
+        receiver.receive(_data(five_tuple, 0))
+        receiver.receive(_data(five_tuple, 0))
+        assert [a.ack_seq for a in acks] == [1000, 1000]
+
+    def test_classic_ece_latched_until_cwr(self, sim, five_tuple):
+        acks = []
+        receiver = TcpReceiver(sim, 0, send_feedback=acks.append,
+                               accecn=False)
+        receiver.receive(_data(five_tuple, 0, ecn=ECN.CE))
+        receiver.receive(_data(five_tuple, 1000, ecn=ECN.ECT0))
+        assert acks[0].ece and acks[1].ece
+        receiver.receive(_data(five_tuple, 2000, ecn=ECN.ECT0, cwr=True))
+        assert not acks[2].ece
+
+    def test_accecn_counters_accumulate(self, sim, five_tuple):
+        acks = []
+        receiver = TcpReceiver(sim, 0, send_feedback=acks.append, accecn=True)
+        receiver.receive(_data(five_tuple, 0, ecn=ECN.CE))
+        receiver.receive(_data(five_tuple, 1000, ecn=ECN.ECT1))
+        assert acks[-1].accecn.ce_packets == 1
+        assert acks[-1].accecn.ect1_bytes > 0
+
+    def test_owd_callback_invoked(self, sim, five_tuple):
+        owds = []
+        receiver = TcpReceiver(sim, 0, send_feedback=lambda a: None,
+                               owd_callback=lambda owd, p: owds.append(owd))
+        sim.schedule_at(0.1, lambda: receiver.receive(
+            _data(five_tuple, 0, now=0.02)))
+        sim.run()
+        assert owds == [pytest.approx(0.08)]
+
+    def test_acks_ignored(self, sim, five_tuple):
+        receiver = TcpReceiver(sim, 0, send_feedback=lambda a: None)
+        data = _data(five_tuple, 0)
+        from repro.net.packet import make_ack_packet
+        receiver.receive(make_ack_packet(data, 100, 0.0))
+        assert receiver.received_packets == 0
+
+
+class TestUdpReceivers:
+    def test_udp_feedback_carries_counters(self, sim, five_tuple):
+        feedback = []
+        receiver = UdpFeedbackReceiver(sim, 0, send_feedback=feedback.append)
+        receiver.receive(_data(five_tuple, 0, ecn=ECN.CE))
+        assert feedback[-1].accecn.ce_bytes > 0
+        assert feedback[-1].payload_info["udp_feedback"]
+
+    def test_scream_feedback_is_periodic_not_per_packet(self, sim, five_tuple):
+        feedback = []
+        receiver = ScreamReceiver(sim, 0, send_feedback=feedback.append,
+                                  feedback_interval=0.03)
+        for i in range(10):
+            sim.schedule_at(i * 0.002,
+                            lambda i=i: receiver.receive(_data(five_tuple,
+                                                               i * 1000)))
+        sim.run(until=0.1)
+        receiver.stop()
+        assert 1 <= len(feedback) <= 4
+        assert feedback[-1].payload_info["scream_feedback"]
+
+    def test_scream_feedback_silent_when_no_data(self, sim):
+        feedback = []
+        receiver = ScreamReceiver(sim, 0, send_feedback=feedback.append)
+        sim.run(until=0.2)
+        receiver.stop()
+        assert feedback == []
+
+
+class _Loop:
+    """Rate sender -> delay -> receiver -> delay -> sender feedback loop."""
+
+    def __init__(self, sim, sender_cls, receiver_cls, mark_every=0):
+        five_tuple = FiveTuple("10.0.0.1", 443, "10.1.0.2", 50_000, "udp")
+        self.count = 0
+
+        class _MarkAndDeliver:
+            def __init__(self, inner, mark_every):
+                self.inner = inner
+                self.mark_every = mark_every
+                self.seen = 0
+
+            def receive(self, packet):
+                self.seen += 1
+                if self.mark_every and self.seen % self.mark_every == 0:
+                    packet.mark_ce("test")
+                self.inner.receive(packet)
+
+        forward = DelayPipe(sim, 0.02)
+        self.sender = sender_cls(sim, 0, five_tuple, path=forward)
+        reverse = DelayPipe(sim, 0.02, sink=_CallSink(self.sender.receive))
+        self.receiver = receiver_cls(sim, 0, send_feedback=reverse.receive)
+        forward.sink = _MarkAndDeliver(self.receiver, mark_every)
+
+
+class _CallSink:
+    def __init__(self, fn):
+        self._fn = fn
+
+    def receive(self, packet):
+        self._fn(packet)
+
+
+class TestRateSenders:
+    def test_udp_prague_increases_without_marks(self, sim):
+        loop = _Loop(sim, UdpPragueSender, UdpFeedbackReceiver)
+        initial_rate = loop.sender.rate
+        sim.schedule_at(0.0, loop.sender.start)
+        sim.run(until=3.0)
+        loop.sender.stop()
+        assert loop.sender.rate > initial_rate
+
+    def test_udp_prague_backs_off_under_heavy_marking(self, sim):
+        clean = _Loop(sim, UdpPragueSender, UdpFeedbackReceiver)
+        sim.schedule_at(0.0, clean.sender.start)
+        sim.run(until=3.0)
+        clean.sender.stop()
+        sim2 = Simulator(seed=1)
+        marked = _Loop(sim2, UdpPragueSender, UdpFeedbackReceiver,
+                       mark_every=3)
+        sim2.schedule_at(0.0, marked.sender.start)
+        sim2.run(until=3.0)
+        marked.sender.stop()
+        assert marked.sender.rate < clean.sender.rate
+        assert marked.sender.stats.congestion_events > 0
+
+    def test_scream_rate_stays_within_bounds(self, sim):
+        loop = _Loop(sim, ScreamSender, ScreamReceiver, mark_every=5)
+        sim.schedule_at(0.0, loop.sender.start)
+        sim.run(until=3.0)
+        loop.sender.stop()
+        loop.receiver.stop()
+        assert loop.sender.min_rate <= loop.sender.rate <= loop.sender.max_rate
+
+    def test_scream_reduces_rate_when_marked(self, sim):
+        loop = _Loop(sim, ScreamSender, ScreamReceiver, mark_every=2)
+        sim.schedule_at(0.0, loop.sender.start)
+        sim.run(until=3.0)
+        loop.sender.stop()
+        loop.receiver.stop()
+        assert loop.sender.stats.congestion_events > 0
+
+    def test_rate_sender_pacing_interval_matches_rate(self, sim):
+        loop = _Loop(sim, UdpPragueSender, UdpFeedbackReceiver)
+        # Pin the rate so the controller's additive increase cannot change it.
+        loop.sender.max_rate = mbps(1.0)
+        loop.sender.min_rate = mbps(1.0)
+        loop.sender.set_rate(mbps(1.0))
+        sim.schedule_at(0.0, loop.sender.start)
+        sim.run(until=1.0)
+        loop.sender.stop()
+        sent_mbps = to_mbps(loop.sender.stats.sent_bytes / 1.0)
+        assert sent_mbps == pytest.approx(1.0, rel=0.4)
+
+    def test_finite_udp_flow_completes(self, sim):
+        five_tuple = FiveTuple("10.0.0.1", 443, "10.1.0.2", 50_000, "udp")
+        sink = _CallSink(lambda p: None)
+        sender = UdpPragueSender(sim, 0, five_tuple, path=sink,
+                                 flow_bytes=10_000)
+        sim.schedule_at(0.0, sender.start)
+        sim.run(until=5.0)
+        assert sender.stats.completion_time is not None

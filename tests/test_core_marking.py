@@ -1,0 +1,117 @@
+"""Tests for the three marking probability rules (paper Eq. 1, Eq. 2, §4.2.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.marking import (classic_mark_probability,
+                                coupled_l4s_probability, l4s_mark_probability,
+                                tcp_model_constant)
+from repro.units import mbps, ms
+
+
+class TestL4sMarking:
+    RATE = mbps(40)
+
+    def test_probability_is_half_at_threshold(self):
+        # Predicted sojourn exactly equal to tau_s -> p = 0.5.
+        queued = self.RATE * ms(10)
+        p = l4s_mark_probability(queued, self.RATE, 0.2 * self.RATE, ms(10))
+        assert p == pytest.approx(0.5, abs=1e-6)
+
+    def test_monotone_in_queue_depth(self):
+        probabilities = [l4s_mark_probability(q, self.RATE, 0.2 * self.RATE,
+                                              ms(10))
+                         for q in range(0, 200_000, 10_000)]
+        assert all(b >= a for a, b in zip(probabilities, probabilities[1:]))
+
+    def test_zero_error_reduces_to_step(self):
+        below = l4s_mark_probability(self.RATE * ms(5), self.RATE, 0.0, ms(10))
+        above = l4s_mark_probability(self.RATE * ms(20), self.RATE, 0.0, ms(10))
+        assert below == 0.0
+        assert above == 1.0
+
+    def test_larger_error_softens_the_edge(self):
+        queued = self.RATE * ms(20)  # sojourn twice the threshold
+        sharp = l4s_mark_probability(queued, self.RATE, 0.1 * self.RATE, ms(10))
+        flat = l4s_mark_probability(queued, self.RATE, 0.5 * self.RATE, ms(10))
+        assert sharp > flat  # volatile channel -> less aggressive above threshold
+        queued_low = self.RATE * ms(5)
+        sharp_low = l4s_mark_probability(queued_low, self.RATE,
+                                         0.1 * self.RATE, ms(10))
+        flat_low = l4s_mark_probability(queued_low, self.RATE,
+                                        0.5 * self.RATE, ms(10))
+        assert flat_low > sharp_low  # ... and more cautious below it
+
+    def test_empty_queue_never_marks(self):
+        assert l4s_mark_probability(0, self.RATE, 0.5 * self.RATE, ms(10)) == 0.0
+
+    def test_zero_rate_estimate_marks(self):
+        assert l4s_mark_probability(10_000, 0.0, 0.0, ms(10)) == 1.0
+
+    def test_probability_bounded(self):
+        for queued in (0, 1_000, 100_000, 10_000_000):
+            p = l4s_mark_probability(queued, self.RATE, 0.3 * self.RATE, ms(10))
+            assert 0.0 <= p <= 1.0
+
+
+class TestClassicMarking:
+    def test_reno_constant(self):
+        assert tcp_model_constant(0.5) == pytest.approx(math.sqrt(1.5), rel=1e-6)
+
+    def test_constant_grows_with_beta(self):
+        assert tcp_model_constant(0.7) > tcp_model_constant(0.5)
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ValueError):
+            tcp_model_constant(1.0)
+        with pytest.raises(ValueError):
+            tcp_model_constant(0.0)
+
+    def test_probability_matches_throughput_model(self):
+        # Inverting Eq. 2: a Reno flow marked with p achieves MSS*K/(RTT*sqrt(p)).
+        mss, rtt, rate = 1440, 0.05, mbps(2.5)
+        p = classic_mark_probability(mss, rtt, rate)
+        achieved = mss * tcp_model_constant(0.5) / (rtt * math.sqrt(p))
+        assert achieved == pytest.approx(rate, rel=1e-6)
+
+    def test_higher_rate_means_lower_probability(self):
+        low = classic_mark_probability(1440, 0.05, mbps(1))
+        high = classic_mark_probability(1440, 0.05, mbps(30))
+        assert high < low
+
+    def test_higher_rtt_means_lower_probability(self):
+        near = classic_mark_probability(1440, 0.038, mbps(5))
+        far = classic_mark_probability(1440, 0.106, mbps(5))
+        assert far < near
+
+    def test_probability_clamped_to_one(self):
+        assert classic_mark_probability(1440, 0.001, 1000.0) == 1.0
+
+    def test_zero_rate_or_rtt_gives_zero(self):
+        assert classic_mark_probability(1440, 0.0, mbps(1)) == 0.0
+        assert classic_mark_probability(1440, 0.05, 0.0) == 0.0
+
+
+class TestCoupledMarking:
+    def test_coupling_balances_throughputs(self):
+        # With p_l4s = (2/K) sqrt(p_classic), the model throughputs
+        # 2*MSS/(RTT*p_l4s) and MSS*K/(RTT*sqrt(p_classic)) coincide.
+        p_classic = 0.01
+        p_l4s = coupled_l4s_probability(p_classic, beta=0.5)
+        mss, rtt = 1440, 0.05
+        r_l4s = 2 * mss / (rtt * p_l4s)
+        r_classic = mss * tcp_model_constant(0.5) / (rtt * math.sqrt(p_classic))
+        assert r_l4s == pytest.approx(r_classic, rel=1e-6)
+
+    def test_monotone_in_classic_probability(self):
+        values = [coupled_l4s_probability(p) for p in (0.001, 0.01, 0.1, 0.5)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_zero_classic_gives_zero(self):
+        assert coupled_l4s_probability(0.0) == 0.0
+
+    def test_clamped_to_one(self):
+        assert coupled_l4s_probability(1.0) <= 1.0

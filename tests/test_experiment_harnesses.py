@@ -1,0 +1,176 @@
+"""Smoke tests for every per-figure experiment harness (tiny configurations)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.ablations import AblationConfig, marking_strategy_ablation, window_sweep
+from repro.experiments.fig02_motivation import Fig2Config, run_fig2
+from repro.experiments.fig09_tcp_sweep import (SweepConfig, improvement_table,
+                                               run_fig9)
+from repro.experiments.fig10_breakdown import BreakdownConfig, run_fig10
+from repro.experiments.fig11_short_flows import ShortFlowConfig, run_fig11
+from repro.experiments.fig12_tcran import (TcRanComparisonConfig, run_fig12,
+                                           throughput_improvement)
+from repro.experiments.fig13_interactive import InteractiveConfig, run_fig13
+from repro.experiments.fig14_fairness import FairnessConfig, jain_index, run_fig14
+from repro.experiments.fig15_shortcircuit import ShortCircuitConfig, run_fig15
+from repro.experiments.fig16_shared_drb import SharedDrbConfig, run_shared_drb_case
+from repro.experiments.fig17_queue_cdf import QueueCdfConfig, run_fig17
+from repro.experiments.fig18_coherence import CoherenceConfig, run_fig18
+from repro.experiments.fig19_threshold import ThresholdSweepConfig, run_fig19
+from repro.experiments.fig20_rate_error import RateErrorConfig, run_fig20
+from repro.experiments.fig21_processing import ProcessingConfig, run_fig21
+from repro.experiments.table1_overhead import (OverheadConfig, overhead_summary,
+                                               run_table1)
+
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+
+def test_fig2_motivation_shapes():
+    result = run_fig2(Fig2Config(duration_s=4.0, bottleneck_shift=False))
+    rows = result.rows()
+    panels = {row["panel"] for row in rows}
+    assert panels == {"wired+dualpi2", "5g", "5g+l4span"}
+    plain = next(r for r in rows if r["panel"] == "5g" and r["cc"] == "prague")
+    spanned = next(r for r in rows
+                   if r["panel"] == "5g+l4span" and r["cc"] == "prague")
+    assert spanned["rtt_ms"] < plain["rtt_ms"]
+
+
+def test_fig9_sweep_and_improvement_table():
+    cells = run_fig9(SweepConfig(cc_names=("prague",), channels=("static",),
+                                 ue_counts=(2,), duration_s=3.0))
+    assert len(cells) == 2
+    rows = improvement_table(cells)
+    assert len(rows) == 1
+    assert rows[0]["owd_reduction_pct"] > 50
+
+
+def test_fig10_breakdown_rows():
+    rows = run_fig10(BreakdownConfig(schedulers=("rr",), ue_counts=(2,),
+                                     duration_s=2.5))
+    assert len(rows) == 2
+    for row in rows:
+        assert row["total_ms"] > 0
+        assert row["queuing_ms"] >= 0
+
+
+def test_fig11_short_flow_rows():
+    rows = run_fig11(ShortFlowConfig(cc_names=("prague",), duration_s=5.0,
+                                     slf_start=2.5))
+    assert len(rows) == 2
+    l4span_row = next(r for r in rows if r["l4span"])
+    assert l4span_row["slf_finish_time_ms"] is not None
+
+
+def test_fig12_tcran_comparison():
+    rows = run_fig12(TcRanComparisonConfig(cc_names=("prague",),
+                                           channels=("static",),
+                                           duration_s=3.0))
+    assert len(rows) == 2
+    improvements = throughput_improvement(rows)
+    assert len(improvements) == 1
+
+
+def test_fig13_interactive_rows():
+    rows = run_fig13(InteractiveConfig(cc_names=("scream",),
+                                       channels=("static",), num_ues=2,
+                                       duration_s=3.0))
+    assert len(rows) == 2
+    assert all(row["per_ue_tput_mbps"] > 0 for row in rows)
+
+
+def test_fig14_fairness_panels():
+    panels = run_fig14(FairnessConfig(duration_s=5.0, stagger_s=1.0))
+    assert len(panels) == 4
+    for panel in panels:
+        assert 0.0 <= panel.fairness_index <= 1.0
+    assert jain_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+    assert jain_index([1.0, 0.0, 0.0]) == pytest.approx(1 / 3)
+
+
+def test_fig15_shortcircuit_rows():
+    rows = run_fig15(ShortCircuitConfig(cc_names=("prague",), duration_s=3.0))
+    assert len(rows) == 2
+    with_sc = next(r for r in rows if r["shortcircuit"])
+    without_sc = next(r for r in rows if not r["shortcircuit"])
+    assert with_sc["shortcircuited_acks"] > 0
+    assert without_sc["shortcircuited_acks"] == 0
+
+
+def test_fig16_shared_drb_coupled_strategy():
+    row = run_shared_drb_case("l4span", SharedDrbConfig(duration_s=4.0))
+    assert 0.0 <= row["l4s_throughput_share"] <= 1.0
+    assert row["l4s_tput_mbps"] > 0
+    assert row["classic_tput_mbps"] > 0
+
+
+def test_fig17_queue_cdf_rows():
+    rows = run_fig17(QueueCdfConfig(cc_names=("prague",), channels=("static",),
+                                    num_ues=2, duration_s=3.0))
+    assert len(rows) == 1
+    assert rows[0]["queue_summary"]["count"] > 0
+
+
+def test_fig18_coherence_validates_window_choice():
+    rows = run_fig18(CoherenceConfig(duration_s=20.0))
+    assert len(rows) == 2
+    for row in rows:
+        assert row["num_periods"] > 10
+        assert row["fraction_above_window"] > 0.9
+
+
+def test_fig19_threshold_sweep_shape():
+    rows = run_fig19(ThresholdSweepConfig(thresholds_ms=(1.0, 10.0, 100.0),
+                                          duration_s=3.0))
+    assert len(rows) == 3
+    by_threshold = {row["threshold_ms"]: row for row in rows}
+    # A tiny threshold sacrifices throughput; a huge one sacrifices latency.
+    assert by_threshold[100.0]["rate_sum_mbps"] >= \
+        by_threshold[1.0]["rate_sum_mbps"] * 0.9
+    assert by_threshold[1.0]["rtt_mean_ms"] <= \
+        by_threshold[100.0]["rtt_mean_ms"] * 1.5
+
+
+def test_fig20_rate_error_rows():
+    rows = run_fig20(RateErrorConfig(channels=("static",), num_ues=2,
+                                     duration_s=3.0))
+    assert len(rows) == 1
+    assert rows[0]["error_summary"]["count"] > 0
+    assert abs(rows[0]["error_summary"]["median"]) < 50.0
+
+
+def test_fig21_processing_rows():
+    rows = run_fig21(ProcessingConfig(num_ues=2, duration_s=2.0))
+    events = {row["event"] for row in rows}
+    assert events == {"downlink", "uplink", "feedback"}
+    for row in rows:
+        if row["count"]:
+            assert row["median_us"] > 0
+
+
+def test_table1_overhead_rows():
+    rows = run_table1(OverheadConfig(busy_ues=2, duration_s=1.5))
+    assert len(rows) == 4
+    summary = overhead_summary(rows)
+    assert {row["state"] for row in summary} == {"idle", "busy"}
+
+
+def test_marking_strategy_ablation_rows():
+    rows = marking_strategy_ablation(AblationConfig(duration_s=3.0,
+                                                    channel="static"))
+    markers = {row["marker"] for row in rows}
+    assert "l4span" in markers and "ran_dualpi2" in markers
+    l4span_row = next(r for r in rows if r["marker"] == "l4span")
+    none_row = next(r for r in rows if r["marker"] == "none")
+    assert l4span_row["owd_median_ms"] < none_row["owd_median_ms"]
+
+
+def test_window_sweep_rows():
+    rows = window_sweep(AblationConfig(duration_s=2.5, channel="static"),
+                        windows_ms=(6.0, 12.45))
+    assert len(rows) == 2
+    assert all(not math.isnan(row["owd_median_ms"]) for row in rows)

@@ -1,0 +1,66 @@
+"""Tests for the checksum helpers used by the marking datapath."""
+
+from __future__ import annotations
+
+from repro.net.checksum import (checksums_valid, internet_checksum,
+                                ip_checksum_of, mark_ce_with_checksum,
+                                recompute_checksums, serialize_ip_header,
+                                tcp_checksum_of, verify_checksum)
+from repro.net.ecn import ECN
+from repro.net.packet import AccEcnCounters, make_ack_packet, make_data_packet
+
+
+def test_internet_checksum_known_vector():
+    # Classic RFC 1071 example: two words summing without carry.
+    assert internet_checksum(b"\x00\x01\xf2\x03") == (~0xF204) & 0xFFFF
+
+
+def test_checksum_detects_corruption():
+    data = b"hello world!"
+    checksum = internet_checksum(data)
+    assert verify_checksum(data, checksum)
+    assert not verify_checksum(b"hello worle!", checksum)
+
+
+def test_odd_length_padding():
+    assert internet_checksum(b"\xff") == internet_checksum(b"\xff\x00")
+
+
+def test_ip_header_changes_with_ecn(five_tuple):
+    packet = make_data_packet(0, five_tuple, 0, 100, ECN.ECT1, 0.0)
+    before = serialize_ip_header(packet)
+    packet.ecn = ECN.CE
+    after = serialize_ip_header(packet)
+    assert before != after
+
+
+def test_mark_ce_with_checksum_keeps_headers_consistent(five_tuple):
+    packet = make_data_packet(0, five_tuple, 0, 100, ECN.ECT1, 0.0)
+    recompute_checksums(packet)
+    assert checksums_valid(packet)
+    assert mark_ce_with_checksum(packet, by="aqm")
+    # the helper refreshed the IP checksum after rewriting the ECN field
+    assert packet.payload_info["ip_checksum"] == ip_checksum_of(packet)
+
+
+def test_stale_checksum_detected_after_manual_rewrite(five_tuple):
+    packet = make_data_packet(0, five_tuple, 0, 100, ECN.ECT1, 0.0)
+    recompute_checksums(packet)
+    packet.ecn = ECN.CE  # rewrite without recomputing
+    assert not checksums_valid(packet)
+
+
+def test_tcp_checksum_covers_accecn_fields(five_tuple):
+    data = make_data_packet(0, five_tuple, 0, 100, ECN.ECT1, 0.0)
+    ack = make_ack_packet(data, 100, 0.1, accecn=AccEcnCounters())
+    before = tcp_checksum_of(ack)
+    ack.accecn.ce_bytes = 999
+    assert tcp_checksum_of(ack) != before
+
+
+def test_tcp_checksum_covers_ece_flag(five_tuple):
+    data = make_data_packet(0, five_tuple, 0, 100, ECN.ECT0, 0.0)
+    ack = make_ack_packet(data, 100, 0.1)
+    before = tcp_checksum_of(ack)
+    ack.ece = True
+    assert tcp_checksum_of(ack) != before

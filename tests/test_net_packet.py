@@ -1,0 +1,113 @@
+"""Tests for the packet model and ECN classification."""
+
+from __future__ import annotations
+
+from repro.net.addresses import FiveTuple, make_flow_tuple
+from repro.net.ecn import ECN, FlowClass, classify_ecn, is_ecn_capable
+from repro.net.packet import (AccEcnCounters, HEADER_BYTES, make_ack_packet,
+                              make_data_packet)
+
+
+class TestEcnClassification:
+    def test_ect1_is_l4s(self):
+        assert classify_ecn(ECN.ECT1) == FlowClass.L4S
+
+    def test_ce_is_treated_as_l4s(self):
+        assert classify_ecn(ECN.CE) == FlowClass.L4S
+
+    def test_ect0_is_classic(self):
+        assert classify_ecn(ECN.ECT0) == FlowClass.CLASSIC
+
+    def test_not_ect_is_non_ecn(self):
+        assert classify_ecn(ECN.NOT_ECT) == FlowClass.NON_ECN
+
+    def test_only_not_ect_is_not_capable(self):
+        assert not is_ecn_capable(ECN.NOT_ECT)
+        assert all(is_ecn_capable(cp) for cp in (ECN.ECT0, ECN.ECT1, ECN.CE))
+
+
+class TestFiveTuple:
+    def test_reversed_swaps_endpoints(self):
+        tuple_ = FiveTuple("a", 1, "b", 2, "tcp")
+        rev = tuple_.reversed()
+        assert rev == FiveTuple("b", 2, "a", 1, "tcp")
+        assert rev.reversed() == tuple_
+
+    def test_hashable_and_equal_by_value(self):
+        a = FiveTuple("a", 1, "b", 2, "tcp")
+        b = FiveTuple("a", 1, "b", 2, "tcp")
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_make_flow_tuple_unique_per_flow(self):
+        tuples = {make_flow_tuple(i) for i in range(50)}
+        assert len(tuples) == 50
+
+
+class TestPacket:
+    def test_data_packet_sizes(self, five_tuple):
+        packet = make_data_packet(0, five_tuple, 0, 1400, ECN.ECT1, 0.0)
+        assert packet.size == 1400 + HEADER_BYTES
+        assert packet.payload_bytes == 1400
+        assert packet.end_seq == 1400
+
+    def test_packet_ids_are_unique(self, five_tuple):
+        a = make_data_packet(0, five_tuple, 0, 100, ECN.ECT1, 0.0)
+        b = make_data_packet(0, five_tuple, 100, 100, ECN.ECT1, 0.0)
+        assert a.packet_id != b.packet_id
+
+    def test_mark_ce_on_capable_packet(self, five_tuple):
+        packet = make_data_packet(0, five_tuple, 0, 100, ECN.ECT1, 0.0)
+        assert packet.mark_ce(by="test")
+        assert packet.ecn == ECN.CE
+        assert packet.marked_by == "test"
+
+    def test_mark_ce_on_not_ect_fails(self, five_tuple):
+        packet = make_data_packet(0, five_tuple, 0, 100, ECN.NOT_ECT, 0.0)
+        assert not packet.mark_ce(by="test")
+        assert packet.ecn == ECN.NOT_ECT
+
+    def test_stamp_keeps_first_value(self, five_tuple):
+        packet = make_data_packet(0, five_tuple, 0, 100, ECN.ECT1, 0.0)
+        packet.stamp("x", 1.0)
+        packet.stamp("x", 2.0)
+        assert packet.timestamps["x"] == 1.0
+        packet.stamp_override("x", 3.0)
+        assert packet.timestamps["x"] == 3.0
+
+    def test_elapsed_between_stamps(self, five_tuple):
+        packet = make_data_packet(0, five_tuple, 0, 100, ECN.ECT1, 0.0)
+        packet.stamp("a", 1.0)
+        packet.stamp("b", 1.5)
+        assert packet.elapsed("a", "b") == 0.5
+        assert packet.elapsed("a", "missing") is None
+
+    def test_ack_packet_reverses_tuple_and_copies_counters(self, five_tuple):
+        data = make_data_packet(3, five_tuple, 0, 1400, ECN.ECT1, 1.0)
+        counters = AccEcnCounters(ce_packets=2, ce_bytes=2880)
+        ack = make_ack_packet(data, ack_seq=1400, now=1.05, accecn=counters)
+        assert ack.is_ack
+        assert ack.five_tuple == five_tuple.reversed()
+        assert ack.ack_seq == 1400
+        assert ack.accecn.ce_bytes == 2880
+        assert ack.accecn is not counters  # must be an independent copy
+        assert ack.payload_info["data_sent_time"] == 1.0
+
+
+class TestAccEcnCounters:
+    def test_add_packet_splits_by_codepoint(self):
+        counters = AccEcnCounters()
+        counters.add_packet(100, ECN.CE)
+        counters.add_packet(200, ECN.ECT1)
+        counters.add_packet(300, ECN.ECT0)
+        counters.add_packet(400, ECN.NOT_ECT)
+        assert counters.ce_packets == 1
+        assert counters.ce_bytes == 100
+        assert counters.ect1_bytes == 200
+        assert counters.ect0_bytes == 300
+
+    def test_copy_is_independent(self):
+        counters = AccEcnCounters(ce_packets=1)
+        clone = counters.copy()
+        clone.ce_packets = 5
+        assert counters.ce_packets == 1

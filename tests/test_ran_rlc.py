@@ -1,0 +1,125 @@
+"""Tests for the RLC entity: queueing, grants, feedback and in-order delivery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.ecn import ECN
+from repro.net.packet import make_data_packet
+from repro.ran.identifiers import DrbConfig, RlcMode
+from repro.ran.phy import AirInterface, AirInterfaceConfig
+from repro.ran.rlc import RlcEntity
+from repro.sim.engine import Simulator
+from repro.units import ms
+
+
+class RlcHarness:
+    """An RLC entity with captured delivery and status callbacks."""
+
+    def __init__(self, sim, mode=RlcMode.AM, max_sdus=100, bler=0.0):
+        self.delivered = []
+        self.status_reports = []
+        air = AirInterface(sim, AirInterfaceConfig(target_bler=bler,
+                                                   delivery_jitter=0.0))
+        self.entity = RlcEntity(
+            sim, ue_id=0,
+            config=DrbConfig(drb_id=1, rlc_mode=mode, max_queue_sdus=max_sdus),
+            air=air,
+            deliver=lambda packet, t: self.delivered.append(packet),
+            send_status=lambda tx, dl, t: self.status_reports.append((tx, dl, t)))
+
+    def enqueue_packets(self, five_tuple, count, payload=1400, start_sn=0):
+        for i in range(count):
+            packet = make_data_packet(0, five_tuple, i * payload, payload,
+                                      ECN.ECT1, 0.0)
+            self.entity.enqueue(start_sn + i, packet)
+
+
+class TestRlcQueueing:
+    def test_enqueue_tracks_backlog(self, sim, five_tuple):
+        harness = RlcHarness(sim)
+        harness.enqueue_packets(five_tuple, 3)
+        assert harness.entity.queue_length_sdus == 3
+        assert harness.entity.backlog_bytes == 3 * 1440
+
+    def test_queue_limit_drops(self, sim, five_tuple):
+        harness = RlcHarness(sim, max_sdus=2)
+        harness.enqueue_packets(five_tuple, 5)
+        assert harness.entity.queue_length_sdus == 2
+        assert harness.entity.dropped_sdus == 3
+
+    def test_pull_consumes_whole_sdus_and_reports_status(self, sim, five_tuple):
+        harness = RlcHarness(sim)
+        harness.enqueue_packets(five_tuple, 3)
+        used = harness.entity.pull(2 * 1440)
+        assert used == 2 * 1440
+        assert harness.entity.queue_length_sdus == 1
+        assert harness.status_reports  # one batched report per grant
+        assert harness.status_reports[-1][0] == 1  # highest txed SN
+
+    def test_partial_grant_segments_sdu(self, sim, five_tuple):
+        harness = RlcHarness(sim)
+        harness.enqueue_packets(five_tuple, 1)
+        used = harness.entity.pull(700)
+        assert used == 700
+        # Not yet transmitted: the SDU still occupies the queue.
+        assert harness.entity.queue_length_sdus == 1
+        assert harness.entity.highest_txed_sn is None
+        used = harness.entity.pull(800)
+        assert used == 1440 - 700
+        assert harness.entity.highest_txed_sn == 0
+
+    def test_pull_on_empty_queue_returns_zero(self, sim, five_tuple):
+        harness = RlcHarness(sim)
+        assert harness.entity.pull(5000) == 0
+
+    def test_delivery_reaches_ue(self, sim, five_tuple):
+        harness = RlcHarness(sim)
+        harness.enqueue_packets(five_tuple, 2)
+        harness.entity.pull(2 * 1440)
+        sim.run(until=0.1)
+        assert len(harness.delivered) == 2
+
+    def test_in_order_delivery_despite_harq_jitter(self, sim, five_tuple):
+        harness = RlcHarness(sim, bler=0.3)
+        harness.enqueue_packets(five_tuple, 20)
+        harness.entity.pull(20 * 1440)
+        sim.run(until=1.0)
+        assert len(harness.delivered) == 20
+        seqs = [p.seq for p in harness.delivered]
+        assert seqs == sorted(seqs)
+
+    def test_delivered_sn_reported_in_am(self, sim, five_tuple):
+        harness = RlcHarness(sim, mode=RlcMode.AM)
+        harness.enqueue_packets(five_tuple, 2)
+        harness.entity.pull(2 * 1440)
+        sim.run(until=0.5)
+        assert harness.entity.highest_delivered_sn == 1
+        assert any(report[1] == 1 for report in harness.status_reports)
+
+    def test_um_mode_never_reports_delivery(self, sim, five_tuple):
+        harness = RlcHarness(sim, mode=RlcMode.UM)
+        harness.enqueue_packets(five_tuple, 2)
+        harness.entity.pull(2 * 1440)
+        sim.run(until=0.5)
+        assert all(report[1] is None for report in harness.status_reports)
+
+    def test_timestamps_stamped_for_breakdown(self, sim, five_tuple):
+        harness = RlcHarness(sim)
+        harness.enqueue_packets(five_tuple, 1)
+        harness.entity.pull(1440)
+        sim.run(until=0.1)
+        packet = harness.delivered[0]
+        assert "rlc_enqueue" in packet.timestamps
+        assert "rlc_dequeue" in packet.timestamps
+        assert "ue_delivered" in packet.timestamps
+        assert (packet.timestamps["ue_delivered"]
+                >= packet.timestamps["rlc_dequeue"]
+                >= packet.timestamps["rlc_enqueue"])
+
+    def test_head_of_line_wait_grows_with_time(self, sim, five_tuple):
+        harness = RlcHarness(sim)
+        harness.enqueue_packets(five_tuple, 1)
+        sim.schedule(0.2, lambda: None)
+        sim.run()
+        assert harness.entity.head_of_line_wait() == pytest.approx(0.2)

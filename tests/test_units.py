@@ -1,0 +1,40 @@
+"""Tests for the unit conversion helpers."""
+
+from __future__ import annotations
+
+import math
+
+from repro import units
+
+
+def test_ms_and_back():
+    assert units.ms(10) == 0.01
+    assert units.seconds_to_ms(0.01) == 10
+
+
+def test_us_and_back():
+    assert units.us(250) == 0.00025
+    assert math.isclose(units.seconds_to_us(0.00025), 250)
+
+
+def test_mbps_roundtrip():
+    assert units.mbps(8) == 1_000_000  # 8 Mbit/s == 1 MB/s
+    assert math.isclose(units.to_mbps(1_000_000), 8.0)
+
+
+def test_kbps_roundtrip():
+    assert units.kbps(8) == 1_000
+    assert math.isclose(units.to_kbps(1_000), 8.0)
+
+
+def test_kib():
+    assert units.kib(1) == 1024
+    assert units.kib(1.5) == 1536
+
+
+def test_transmission_time_normal_case():
+    assert units.transmission_time(1000, 1000) == 1.0
+
+
+def test_transmission_time_zero_rate_is_infinite():
+    assert units.transmission_time(1000, 0) == float("inf")
