@@ -1,0 +1,100 @@
+"""Engine microbenchmarks: raw event throughput and packet churn.
+
+Unlike the figure benchmarks (which time a whole experiment), these isolate
+the simulator hot path itself -- heap push/pop, callback dispatch, packet
+allocation -- so a regression in the event core shows up directly as an
+events/sec drop rather than being diluted by scenario logic.  Run with
+``scripts/bench_smoke.sh`` to autosave results for cross-PR comparison.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import attach_rows, bench_scale
+from repro.net.addresses import FiveTuple
+from repro.net.ecn import ECN
+from repro.net.packet import make_ack_packet, make_data_packet
+from repro.sim.engine import Simulator
+
+
+def _event_churn(n_chains: int, horizon: float) -> tuple[int, Simulator]:
+    """Self-rescheduling timer chains: pure heap + dispatch load."""
+    sim = Simulator(seed=1)
+
+    def tick(chain_id: int) -> None:
+        sim.schedule(1.0, tick, chain_id)
+
+    for chain in range(n_chains):
+        sim.schedule(chain * 0.01, tick, chain)
+    processed = sim.run(until=horizon)
+    return processed, sim
+
+
+def test_engine_event_throughput(benchmark):
+    horizon = 400.0 * bench_scale()
+
+    def run():
+        return _event_churn(n_chains=50, horizon=horizon)
+
+    processed, _sim = benchmark(run)
+    events_per_sec = processed / benchmark.stats.stats.min
+    attach_rows(benchmark, [{"events": processed,
+                             "events_per_sec_best": events_per_sec}])
+    assert processed >= 50 * horizon * 0.95
+
+
+def test_engine_cancellation_churn(benchmark):
+    """Half the scheduled events get cancelled: stresses the lazy scan."""
+    horizon = 200.0 * bench_scale()
+
+    def run():
+        sim = Simulator(seed=2)
+
+        def tick() -> None:
+            keep = sim.schedule(1.0, tick)
+            doomed = sim.schedule(1.5, tick)
+            doomed.cancel()
+            del keep
+
+        for chain in range(20):
+            sim.schedule(chain * 0.01, tick)
+        return sim.run(until=horizon)
+
+    processed = benchmark(run)
+    attach_rows(benchmark, [{"events": processed}])
+    assert processed > 0
+
+
+def test_engine_packet_churn(benchmark):
+    """Allocate data+ACK packet pairs and flow them through timer callbacks.
+
+    Approximates the per-packet object pressure of a real scenario without
+    the RAN/CC logic, so ``__slots__`` and constructor regressions on
+    :class:`Packet` surface here.
+    """
+    n_packets = int(20_000 * bench_scale())
+    five_tuple = FiveTuple(src_ip="10.0.0.1", src_port=443,
+                           dst_ip="10.45.0.2", dst_port=50_000,
+                           protocol="tcp")
+
+    def run():
+        sim = Simulator(seed=3)
+        delivered = []
+
+        def deliver(packet) -> None:
+            ack = make_ack_packet(packet, ack_seq=packet.end_seq, now=sim.now)
+            delivered.append(ack.ack_seq)
+
+        for i in range(n_packets):
+            packet = make_data_packet(flow_id=1, five_tuple=five_tuple,
+                                      seq=i * 1400, payload=1400,
+                                      ecn=ECN.ECT1, now=0.0)
+            packet.stamp("core_ingress", i * 1e-6)
+            sim.schedule(i * 1e-6, deliver, packet)
+        sim.run()
+        return len(delivered)
+
+    count = benchmark(run)
+    assert count == n_packets
+    packets_per_sec = count / benchmark.stats.stats.min
+    attach_rows(benchmark, [{"packets": count,
+                             "packets_per_sec_best": packets_per_sec}])

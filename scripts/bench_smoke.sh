@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Run the benchmark suite with pytest-benchmark autosave so successive PRs
+# accumulate a comparable JSON trajectory under .benchmarks/.
+#
+# Usage:
+#   scripts/bench_smoke.sh                 # engine microbenchmarks only (fast)
+#   scripts/bench_smoke.sh --full          # every figure/table benchmark
+#   REPRO_BENCH_SCALE=2 scripts/bench_smoke.sh --full   # longer runs
+#
+# Compare against previous runs with:
+#   PYTHONPATH=src python -m pytest_benchmark list
+#   PYTHONPATH=src python -m pytest_benchmark compare
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TARGET="benchmarks/test_bench_engine.py"
+if [[ "${1:-}" == "--full" ]]; then
+    TARGET="benchmarks"
+    shift
+fi
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python -m pytest "$TARGET" -q \
+    --benchmark-autosave \
+    --benchmark-storage=.benchmarks \
+    --benchmark-columns=min,mean,stddev,rounds \
+    "$@"

@@ -9,9 +9,11 @@ experiments.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.experiments.report import format_table
+from repro.experiments.runner import default_workers
 
 
 def _run_scenario_command(args: argparse.Namespace) -> int:
@@ -45,10 +47,21 @@ _EXPERIMENTS = {
 
 def _run_experiment_command(args: argparse.Namespace) -> int:
     import importlib
+    import inspect
 
     module_name, function_name, row_adapter = _EXPERIMENTS[args.experiment]
     module = importlib.import_module(module_name)
-    output = getattr(module, function_name)()
+    function = getattr(module, function_name)
+    kwargs = {}
+    if "workers" in inspect.signature(function).parameters:
+        kwargs["workers"] = args.workers
+        if args.workers > 1:
+            kwargs["progress"] = lambda done, total: print(
+                f"[{args.experiment}] {done}/{total} cells", file=sys.stderr)
+    elif args.workers > 1:
+        print(f"note: {args.experiment} is not a sweep grid; "
+              "--workers ignored", file=sys.stderr)
+    output = function(**kwargs)
     if row_adapter == "rows":
         rows = output.rows()
     elif row_adapter == "as_row":
@@ -85,6 +98,11 @@ def main(argv: list[str] | None = None) -> int:
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's figures/tables")
     experiment.add_argument("experiment", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument(
+        "--workers", type=int, default=default_workers(),
+        help="worker processes for grid experiments (default: "
+             f"$REPRO_SWEEP_WORKERS or 1; this host has {os.cpu_count()} "
+             "CPUs)")
     experiment.set_defaults(handler=_run_experiment_command)
 
     args = parser.parse_args(argv)

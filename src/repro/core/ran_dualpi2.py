@@ -26,6 +26,7 @@ from repro.net.packet import Packet
 from repro.ran.f1u import DeliveryStatus
 from repro.ran.identifiers import DrbId, DrbKey, UeId
 from repro.sim.engine import Simulator
+from repro.sim.randomness import chance
 from repro.units import ms
 
 
@@ -37,6 +38,7 @@ class _DualPi2DrbState:
     core: DualPi2Core = field(default_factory=DualPi2Core)
     last_update: float = 0.0
     marks: int = 0
+    rng: object = None  # cached marking stream; set by RanDualPi2Marker._state
 
 
 class RanDualPi2Marker:
@@ -63,6 +65,8 @@ class RanDualPi2Marker:
             state = _DualPi2DrbState()
             state.core.l4s_threshold = self.l4s_threshold
             state.core.target = self.classic_target
+            state.rng = self._sim.random.stream(
+                f"ran-dualpi2-{ue_id}-{drb_id}")
             self._drbs[key] = state
         return state
 
@@ -79,10 +83,7 @@ class RanDualPi2Marker:
             probability = state.core.l4s_mark_probability(sojourn)
         else:
             probability = state.core.p_classic
-        if probability <= 0:
-            return
-        if self._sim.random.bernoulli(f"ran-dualpi2-{ue_id}-{drb_id}",
-                                      probability):
+        if chance(state.rng, probability):
             mark_ce_with_checksum(packet, by=self.name)
             state.marks += 1
             self.marked_packets += 1

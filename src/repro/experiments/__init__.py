@@ -6,6 +6,8 @@ harness configures; the ``figXX_*`` modules encode each experiment's workload
 and produce the rows/series the paper reports.
 """
 
+from repro.experiments.runner import (SweepRunner, derive_cell_seed,
+                                      run_cells)
 from repro.experiments.scenario import (FlowResult, ScenarioConfig,
                                         ScenarioResult, build_scenario,
                                         run_scenario)
@@ -17,6 +19,9 @@ __all__ = [
     "FlowResult",
     "build_scenario",
     "run_scenario",
+    "SweepRunner",
+    "run_cells",
+    "derive_cell_seed",
     "WiredScenarioConfig",
     "run_wired_scenario",
 ]

@@ -9,9 +9,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.config import L4SpanConfig
+from repro.experiments.runner import SweepRunner
 from repro.experiments.scenario import ScenarioConfig, run_scenario
 from repro.metrics.stats import box_stats
 from repro.units import ms
@@ -28,38 +29,54 @@ class AblationConfig:
     seed: int = 61
 
 
-def marking_strategy_ablation(config: Optional[AblationConfig] = None
-                              ) -> list[dict]:
+def _run_marker_cell(cell: tuple) -> dict:
+    """Spawn-safe adapter: one marker-strategy cell."""
+    marker, config = cell
+    result = run_scenario(ScenarioConfig(
+        num_ues=config.num_ues, duration_s=config.duration_s,
+        cc_name=config.cc_name, marker=marker,
+        channel_profile=config.channel, seed=config.seed))
+    owd = box_stats(result.all_owd_samples())
+    return {"marker": marker,
+            "owd_median_ms": owd.median * 1e3,
+            "throughput_mbps": result.total_goodput_mbps()}
+
+
+def marking_strategy_ablation(config: Optional[AblationConfig] = None,
+                              workers: int = 1,
+                              progress: Optional[Callable[[int, int], None]]
+                              = None) -> list[dict]:
     """Compare L4Span's marking with hard-threshold DualPi2 in the RAN."""
     config = config if config is not None else AblationConfig()
-    rows = []
-    for marker in ("l4span", "ran_dualpi2", "ran_dualpi2_10ms", "none"):
-        result = run_scenario(ScenarioConfig(
-            num_ues=config.num_ues, duration_s=config.duration_s,
-            cc_name=config.cc_name, marker=marker,
-            channel_profile=config.channel, seed=config.seed))
-        owd = box_stats(result.all_owd_samples())
-        rows.append({"marker": marker,
-                     "owd_median_ms": owd.median * 1e3,
-                     "throughput_mbps": result.total_goodput_mbps()})
-    return rows
+    cells = [(marker, config)
+             for marker in ("l4span", "ran_dualpi2", "ran_dualpi2_10ms",
+                            "none")]
+    runner = SweepRunner(workers=workers, progress=progress)
+    return runner.map(_run_marker_cell, cells)
+
+
+def _run_window_cell(cell: tuple) -> dict:
+    """Spawn-safe adapter: one estimation-window cell."""
+    window_ms, config = cell
+    l4span_config = L4SpanConfig(coherence_time=ms(2 * window_ms))
+    result = run_scenario(ScenarioConfig(
+        num_ues=config.num_ues, duration_s=config.duration_s,
+        cc_name=config.cc_name, marker="l4span",
+        channel_profile=config.channel, l4span_config=l4span_config,
+        seed=config.seed))
+    owd = box_stats(result.all_owd_samples())
+    return {"window_ms": window_ms,
+            "owd_median_ms": owd.median * 1e3,
+            "throughput_mbps": result.total_goodput_mbps()}
 
 
 def window_sweep(config: Optional[AblationConfig] = None,
-                 windows_ms: tuple = (3.0, 6.0, 12.45, 25.0, 50.0)
+                 windows_ms: tuple = (3.0, 6.0, 12.45, 25.0, 50.0),
+                 workers: int = 1,
+                 progress: Optional[Callable[[int, int], None]] = None
                  ) -> list[dict]:
     """Sweep the egress-rate estimation window length."""
     config = config if config is not None else AblationConfig()
-    rows = []
-    for window_ms in windows_ms:
-        l4span_config = L4SpanConfig(coherence_time=ms(2 * window_ms))
-        result = run_scenario(ScenarioConfig(
-            num_ues=config.num_ues, duration_s=config.duration_s,
-            cc_name=config.cc_name, marker="l4span",
-            channel_profile=config.channel, l4span_config=l4span_config,
-            seed=config.seed))
-        owd = box_stats(result.all_owd_samples())
-        rows.append({"window_ms": window_ms,
-                     "owd_median_ms": owd.median * 1e3,
-                     "throughput_mbps": result.total_goodput_mbps()})
-    return rows
+    cells = [(window_ms, config) for window_ms in windows_ms]
+    runner = SweepRunner(workers=workers, progress=progress)
+    return runner.map(_run_window_cell, cells)

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
+from repro.experiments.runner import SweepRunner
 from repro.experiments.scenario import ScenarioConfig, run_scenario
 from repro.metrics.stats import BoxStats, box_stats
 from repro.ran.identifiers import DEFAULT_RLC_QUEUE_SDUS, SHORT_RLC_QUEUE_SDUS
@@ -81,19 +82,32 @@ def run_sweep_cell(cc_name: str, channel: str, num_ues: int, rlc_queue: int,
                      total_goodput_mbps=result.total_goodput_mbps())
 
 
-def run_fig9(config: Optional[SweepConfig] = None) -> list[SweepCell]:
-    """Run the whole (scaled-down) Fig. 9 grid."""
+def sweep_cells(config: SweepConfig) -> list[tuple]:
+    """The grid as a list of ``run_sweep_cell`` argument tuples."""
+    return [(cc, channel, ues, queue, rtt, marker,
+             config.duration_s, config.seed)
+            for cc, channel, ues, queue, rtt, marker in itertools.product(
+                config.cc_names, config.channels, config.ue_counts,
+                config.rlc_queues, config.wan_rtts, config.markers)]
+
+
+def _run_cell(cell: tuple) -> SweepCell:
+    """Module-level (spawn-safe) adapter from a cell tuple to its result."""
+    return run_sweep_cell(*cell)
+
+
+def run_fig9(config: Optional[SweepConfig] = None, workers: int = 1,
+             progress: Optional[Callable[[int, int], None]] = None
+             ) -> list[SweepCell]:
+    """Run the whole (scaled-down) Fig. 9 grid, optionally in parallel."""
     config = config if config is not None else SweepConfig()
-    cells = []
-    for cc, channel, ues, queue, rtt, marker in itertools.product(
-            config.cc_names, config.channels, config.ue_counts,
-            config.rlc_queues, config.wan_rtts, config.markers):
-        cells.append(run_sweep_cell(cc, channel, ues, queue, rtt, marker,
-                                    config.duration_s, config.seed))
-    return cells
+    runner = SweepRunner(workers=workers, progress=progress)
+    return runner.map(_run_cell, sweep_cells(config))
 
 
-def run_fig24(config: Optional[SweepConfig] = None) -> list[SweepCell]:
+def run_fig24(config: Optional[SweepConfig] = None, workers: int = 1,
+              progress: Optional[Callable[[int, int], None]] = None
+              ) -> list[SweepCell]:
     """Run the appendix sweep (BBR and Reno) on the same grid."""
     config = config if config is not None else SweepConfig()
     appendix = SweepConfig(cc_names=("bbr", "reno"), channels=config.channels,
@@ -101,7 +115,7 @@ def run_fig24(config: Optional[SweepConfig] = None) -> list[SweepCell]:
                            rlc_queues=config.rlc_queues,
                            wan_rtts=config.wan_rtts, markers=config.markers,
                            duration_s=config.duration_s, seed=config.seed)
-    return run_fig9(appendix)
+    return run_fig9(appendix, workers=workers, progress=progress)
 
 
 def improvement_table(cells: Iterable[SweepCell]) -> list[dict]:

@@ -9,9 +9,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.config import L4SpanConfig
+from repro.experiments.runner import SweepRunner
 from repro.experiments.scenario import ScenarioConfig, run_scenario
 from repro.metrics.stats import box_stats
 from repro.units import ms
@@ -28,21 +29,29 @@ class ThresholdSweepConfig:
     seed: int = 43
 
 
-def run_fig19(config: Optional[ThresholdSweepConfig] = None) -> list[dict]:
+def _run_cell(cell: tuple) -> dict:
+    """Spawn-safe adapter: one (threshold, ues, config) grid cell."""
+    threshold_ms, ues, config = cell
+    l4span_config = L4SpanConfig(sojourn_threshold=ms(threshold_ms))
+    result = run_scenario(ScenarioConfig(
+        num_ues=ues, duration_s=config.duration_s,
+        cc_name=config.cc_name, marker="l4span",
+        l4span_config=l4span_config, seed=config.seed))
+    rtt = box_stats(result.all_rtt_samples())
+    return {
+        "threshold_ms": threshold_ms, "ues": ues,
+        "rtt_mean_ms": rtt.mean * 1e3,
+        "rate_sum_mbps": result.total_goodput_mbps(),
+    }
+
+
+def run_fig19(config: Optional[ThresholdSweepConfig] = None, workers: int = 1,
+              progress: Optional[Callable[[int, int], None]] = None
+              ) -> list[dict]:
     """Run the tau_s sweep; one row per (threshold, UE count)."""
     config = config if config is not None else ThresholdSweepConfig()
-    rows = []
-    for threshold_ms, ues in itertools.product(config.thresholds_ms,
-                                               config.ue_counts):
-        l4span_config = L4SpanConfig(sojourn_threshold=ms(threshold_ms))
-        result = run_scenario(ScenarioConfig(
-            num_ues=ues, duration_s=config.duration_s,
-            cc_name=config.cc_name, marker="l4span",
-            l4span_config=l4span_config, seed=config.seed))
-        rtt = box_stats(result.all_rtt_samples())
-        rows.append({
-            "threshold_ms": threshold_ms, "ues": ues,
-            "rtt_mean_ms": rtt.mean * 1e3,
-            "rate_sum_mbps": result.total_goodput_mbps(),
-        })
-    return rows
+    cells = [(threshold_ms, ues, config)
+             for threshold_ms, ues in itertools.product(config.thresholds_ms,
+                                                        config.ue_counts)]
+    runner = SweepRunner(workers=workers, progress=progress)
+    return runner.map(_run_cell, cells)

@@ -9,8 +9,9 @@ interval), and the distribution of relative errors is reported.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
+from repro.experiments.runner import SweepRunner
 from repro.experiments.scenario import ScenarioConfig, run_scenario
 from repro.metrics.stats import cdf_points, percentile, summarize
 
@@ -26,21 +27,28 @@ class RateErrorConfig:
     seed: int = 47
 
 
-def run_fig20(config: Optional[RateErrorConfig] = None) -> list[dict]:
+def _run_cell(cell: tuple) -> dict:
+    """Spawn-safe adapter: one per-channel grid cell."""
+    channel, config = cell
+    result = run_scenario(ScenarioConfig(
+        num_ues=config.num_ues, duration_s=config.duration_s,
+        cc_name=config.cc_name, marker="l4span",
+        channel_profile=channel, rate_probe=True, seed=config.seed))
+    errors = result.rate_estimation_errors
+    return {
+        "channel": channel,
+        "error_summary": summarize(errors),
+        "median_abs_error_pct": percentile([abs(e) for e in errors], 50)
+        if errors else float("nan"),
+        "error_cdf": cdf_points(errors, max_points=50),
+    }
+
+
+def run_fig20(config: Optional[RateErrorConfig] = None, workers: int = 1,
+              progress: Optional[Callable[[int, int], None]] = None
+              ) -> list[dict]:
     """Run the estimation-error grid; one row per channel condition."""
     config = config if config is not None else RateErrorConfig()
-    rows = []
-    for channel in config.channels:
-        result = run_scenario(ScenarioConfig(
-            num_ues=config.num_ues, duration_s=config.duration_s,
-            cc_name=config.cc_name, marker="l4span",
-            channel_profile=channel, rate_probe=True, seed=config.seed))
-        errors = result.rate_estimation_errors
-        rows.append({
-            "channel": channel,
-            "error_summary": summarize(errors),
-            "median_abs_error_pct": percentile([abs(e) for e in errors], 50)
-            if errors else float("nan"),
-            "error_cdf": cdf_points(errors, max_points=50),
-        })
-    return rows
+    cells = [(channel, config) for channel in config.channels]
+    runner = SweepRunner(workers=workers, progress=progress)
+    return runner.map(_run_cell, cells)

@@ -10,12 +10,14 @@ handlers themselves.
 
 from __future__ import annotations
 
+import os
 import time
 import tracemalloc
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.config import L4SpanConfig
+from repro.experiments.runner import SweepRunner
 from repro.experiments.scenario import ScenarioConfig, build_scenario
 
 
@@ -55,16 +57,34 @@ def _run_case(num_ues: int, marker: str, config: OverheadConfig) -> dict:
     }
 
 
-def run_table1(config: Optional[OverheadConfig] = None) -> list[dict]:
-    """Run the idle/busy x with/without-L4Span grid of Table 1."""
+def _run_cell(cell: tuple) -> dict:
+    """Spawn-safe adapter: one (state, ues, marker, config) grid cell."""
+    state_name, num_ues, marker, config = cell
+    row = _run_case(num_ues, marker, config)
+    row["state"] = state_name
+    return row
+
+
+def run_table1(config: Optional[OverheadConfig] = None, workers: int = 1,
+               progress: Optional[Callable[[int, int], None]] = None
+               ) -> list[dict]:
+    """Run the idle/busy x with/without-L4Span grid of Table 1.
+
+    Each cell measures its own wall clock and peak memory inside its worker
+    process.  Because the *output* of this experiment is wall-clock time,
+    workers are capped at the logical CPU count so cells at least never
+    time-slice the same logical CPU.  Concurrent cells can still contend
+    (SMT siblings, caches, thermal limits), so parallel rows are indicative;
+    use ``workers=1`` when the absolute overhead numbers matter.
+    """
     config = config if config is not None else OverheadConfig()
-    rows = []
-    for state_name, num_ues in (("idle", 1), ("busy", config.busy_ues)):
-        for marker in ("none", "l4span"):
-            row = _run_case(num_ues, marker, config)
-            row["state"] = state_name
-            rows.append(row)
-    return rows
+    cells = [(state_name, num_ues, marker, config)
+             for state_name, num_ues in (("idle", 1), ("busy", config.busy_ues))
+             for marker in ("none", "l4span")]
+    if workers is not None:
+        workers = min(workers, os.cpu_count() or 1)
+    runner = SweepRunner(workers=workers, progress=progress)
+    return runner.map(_run_cell, cells)
 
 
 def overhead_summary(rows: list[dict]) -> list[dict]:

@@ -24,7 +24,7 @@ HEADER_BYTES = 40
 _packet_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class AccEcnCounters:
     """Accurate-ECN feedback counters carried in an ACK (draft-ietf-tcpm-accurate-ecn).
 
@@ -54,7 +54,7 @@ class AccEcnCounters:
             self.ect0_bytes += size
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A simulated IP datagram.
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.sim.engine import Simulator
+from repro.sim.randomness import chance
 from repro.units import ms
 
 
@@ -40,9 +41,22 @@ class AirInterface:
         self._sim = sim
         self.config = config if config is not None else AirInterfaceConfig()
         self._stream_name = stream_name
+        # Per-UE (harq, jitter) generator cache: transmit() runs once per
+        # transport block, so it must not rebuild stream-name strings and
+        # re-hash them on every call.
+        self._ue_streams: dict[int, tuple] = {}
         self.transmitted_blocks = 0
         self.harq_retransmissions = 0
         self.failed_blocks = 0
+
+    def _streams_for(self, ue_id: int) -> tuple:
+        streams = self._ue_streams.get(ue_id)
+        if streams is None:
+            base = f"{self._stream_name}-ue{ue_id}"
+            streams = (self._sim.random.stream(base),
+                       self._sim.random.stream(f"{base}-jitter"))
+            self._ue_streams[ue_id] = streams
+        return streams
 
     def transmit(self, ue_id: int,
                  on_delivered: Callable[[float], None],
@@ -54,17 +68,19 @@ class AirInterface:
         """
         cfg = self.config
         self.transmitted_blocks += 1
+        harq_rng, jitter_rng = self._streams_for(ue_id)
+        bler = cfg.target_bler
         attempts = 1
-        stream = f"{self._stream_name}-ue{ue_id}"
-        while (attempts < cfg.max_harq_attempts
-               and self._sim.random.bernoulli(stream, cfg.target_bler)):
+        while attempts < cfg.max_harq_attempts and chance(harq_rng, bler):
             attempts += 1
             self.harq_retransmissions += 1
         delay = cfg.base_delay + (attempts - 1) * cfg.harq_rtt
         if cfg.delivery_jitter > 0:
-            delay += self._sim.random.uniform(f"{stream}-jitter") * cfg.delivery_jitter
-        final_attempt_failed = self._sim.random.bernoulli(
-            stream, cfg.target_bler) and attempts >= cfg.max_harq_attempts
+            delay += float(jitter_rng.random()) * cfg.delivery_jitter
+        # Only blocks that used up every HARQ attempt can still fail; do not
+        # consume a draw from the stream on the common success path.
+        final_attempt_failed = (attempts >= cfg.max_harq_attempts
+                                and chance(harq_rng, bler))
         if final_attempt_failed:
             self.failed_blocks += 1
             self._sim.schedule(delay, on_failed, self._sim.now + delay)

@@ -7,6 +7,7 @@ lives in the network, RAN and congestion-control components.
 
 from __future__ import annotations
 
+from heapq import heappop as _heappop
 from typing import Callable, Optional
 
 from repro.sim.events import Event, EventQueue
@@ -66,7 +67,7 @@ class Simulator:
     # ------------------------------------------------------------------ #
     def step(self) -> bool:
         """Process one event.  Returns ``False`` when the queue is empty."""
-        event = self.events.pop()
+        event = self.events.pop_pending()
         if event is None:
             return False
         if event.time < self.now:
@@ -81,21 +82,41 @@ class Simulator:
         """Run until the queue drains, ``until`` is reached, or ``max_events`` fire.
 
         Returns the number of events processed by this call.
+
+        The loop body is inlined over the queue's tuple heap -- one
+        lazy-cancellation scan per iteration, locals bound outside the loop --
+        because this is the hottest code in the library: every simulated
+        packet, timer and channel update funnels through here.
         """
-        processed_before = self._processed
         self._running = True
+        processed_before = self._processed
+        # Hot-path local bindings (attribute loads hoisted out of the loop).
+        heap = self.events.heap
+        heappop = _heappop
+        budget = max_events
         try:
             while self._running:
-                if max_events is not None and (
-                        self._processed - processed_before) >= max_events:
+                if (budget is not None
+                        and self._processed - processed_before >= budget):
                     break
-                next_time = self.events.peek_time()
-                if next_time is None:
+                # Single combined scan: drop cancelled heads, then pop.
+                while heap:
+                    head_time = heap[0][0]
+                    if heap[0][2].cancelled:
+                        heappop(heap)
+                        continue
                     break
-                if until is not None and next_time > until:
+                else:
+                    break
+                if until is not None and head_time > until:
                     self.now = until
                     break
-                self.step()
+                event = heappop(heap)[2]
+                self.now = head_time
+                event.callback(*event.args)
+                # Per-event update keeps processed_events live for callbacks
+                # (watchdog patterns read it mid-run).
+                self._processed += 1
         finally:
             self._running = False
         return self._processed - processed_before

@@ -1,20 +1,24 @@
 """Event objects and the pending-event queue.
 
-The queue is a binary heap keyed on ``(time, sequence)``.  The sequence number
-breaks ties deterministically so two events scheduled for the same instant
-always fire in the order they were scheduled, which keeps simulations
-reproducible across runs and platforms.
+The queue is a binary heap of plain ``(time, sequence, event)`` tuples.  The
+sequence number breaks ties deterministically so two events scheduled for the
+same instant always fire in the order they were scheduled, which keeps
+simulations reproducible across runs and platforms.
+
+Heap entries are tuples rather than the :class:`Event` objects themselves so
+that heap sifting compares machine floats/ints instead of dispatching to a
+dataclass ``__lt__`` -- the single hottest comparison in the simulator.  The
+:class:`Event` is a plain slotted class (no dataclass machinery) for the same
+reason: it is allocated once per scheduled callback, millions of times per
+run.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
@@ -28,54 +32,78 @@ class Event:
             they reach the head of the heap.
     """
 
-    time: float
-    sequence: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "sequence", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, sequence: int,
+                 callback: Callable[..., None], args: tuple = ()) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
 
     def cancel(self) -> None:
         """Mark this event so the engine skips it when it pops."""
         self.cancelled = True
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return (f"Event(time={self.time!r}, sequence={self.sequence}"
+                f"{state})")
+
 
 class EventQueue:
-    """A deterministic min-heap of :class:`Event` objects."""
+    """A deterministic min-heap of :class:`Event` objects.
+
+    The internal heap holds ``(time, sequence, event)`` tuples; ``heap`` is
+    exposed (read-only by convention) so :meth:`Simulator.run` can inline the
+    pop loop without method-call overhead.
+    """
+
+    __slots__ = ("heap", "_next_seq")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self.heap: list[tuple[float, int, Event]] = []
+        self._next_seq = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self.heap)
 
     def push(self, time: float, callback: Callable[..., None],
              args: tuple = ()) -> Event:
         """Schedule ``callback(*args)`` at absolute ``time`` and return the event."""
-        event = Event(time=time, sequence=next(self._counter),
-                      callback=callback, args=args)
-        heapq.heappush(self._heap, event)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, seq, callback, args)
+        heapq.heappush(self.heap, (time, seq, event))
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event, or ``None``."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self.heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if not event.cancelled:
                 return event
         return None
 
+    # ``pop`` already skips cancelled entries in a single scan; the alias
+    # exists so call sites can say what they mean (satellite of the old
+    # pop/peek_time double-scan API).
+    pop_pending = pop
+
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the earliest live event, or ``None``."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self.heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def clear(self) -> None:
         """Drop every pending event."""
-        self._heap.clear()
+        self.heap.clear()
 
 
 def never(*_args: Any) -> None:

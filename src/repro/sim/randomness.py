@@ -14,6 +14,34 @@ import hashlib
 import numpy as np
 
 
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a child seed from ``master_seed`` and a label, deterministically.
+
+    The single home of the SHA-256 construction used both for named streams
+    inside one simulation and for per-cell sweep seeds -- keeping them on the
+    same function is what guarantees they stay decorrelated from each other.
+    """
+    digest = hashlib.sha256(
+        f"{int(master_seed)}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def chance(rng: np.random.Generator, probability: float) -> bool:
+    """Bernoulli draw against a *cached* generator.
+
+    Hot paths that have already looked their stream up (to avoid rebuilding
+    name keys per event) must keep :meth:`RandomStreams.bernoulli`'s exact
+    draw-count semantics -- no variate is consumed when the probability is
+    degenerate -- or seeded runs stop being bit-reproducible.  This helper is
+    the single home of that edge-case logic.
+    """
+    if probability <= 0.0:
+        return False
+    if probability >= 1.0:
+        return True
+    return float(rng.random()) < probability
+
+
 class RandomStreams:
     """Factory of :class:`numpy.random.Generator` objects keyed by name."""
 
@@ -29,10 +57,8 @@ class RandomStreams:
     def stream(self, name: str) -> np.random.Generator:
         """Return the generator for ``name``, creating it deterministically."""
         if name not in self._streams:
-            digest = hashlib.sha256(
-                f"{self._seed}:{name}".encode("utf-8")).digest()
-            child_seed = int.from_bytes(digest[:8], "little")
-            self._streams[name] = np.random.default_rng(child_seed)
+            self._streams[name] = np.random.default_rng(
+                derive_seed(self._seed, name))
         return self._streams[name]
 
     def uniform(self, name: str) -> float:
@@ -53,8 +79,4 @@ class RandomStreams:
 
     def bernoulli(self, name: str, probability: float) -> bool:
         """Return ``True`` with the given probability."""
-        if probability <= 0.0:
-            return False
-        if probability >= 1.0:
-            return True
-        return self.uniform(name) < probability
+        return chance(self.stream(name), probability)

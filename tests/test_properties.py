@@ -115,8 +115,12 @@ def test_egress_estimate_never_negative_and_bounded(sizes, interval):
     estimate = estimator.last_estimate
     assert estimate.smoothed_rate >= 0
     assert estimate.error_std >= 0
-    # The average rate cannot exceed the largest instantaneous packet rate.
-    assert estimate.smoothed_rate <= peak * 1.01
+    # A window of length W over packets spaced interval apart can contain
+    # floor(W/interval) + 1 of them, so the instantaneous rate (and hence
+    # the smoothed average of such rates) is bounded by
+    # max_size * (floor(W/interval) + 1) / W <= peak * (1 + interval / W).
+    assert estimate.smoothed_rate <= peak * (1 + interval / estimator.window) \
+        * (1 + 1e-9)
 
 
 # --------------------------------------------------------------------------- #
@@ -177,6 +181,61 @@ def test_event_queue_pops_in_nondecreasing_time_order(times):
         popped.append(event.time)
     assert popped == sorted(popped)
     assert len(popped) == len(times)
+
+
+@given(times=st.lists(st.floats(0, 1000), max_size=80),
+       cancel_mask=st.lists(st.booleans(), max_size=80))
+def test_event_queue_cancellation_preserves_order_of_survivors(times,
+                                                               cancel_mask):
+    queue = EventQueue()
+    events = [queue.push(t, lambda: None) for t in times]
+    for event, do_cancel in zip(events, cancel_mask):
+        if do_cancel:
+            event.cancel()
+    survivors = sorted((e for e in events if not e.cancelled),
+                       key=lambda e: (e.time, e.sequence))
+    popped = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        popped.append(event)
+    assert popped == survivors
+
+
+@given(times=st.lists(st.sampled_from([0.0, 1.0, 2.0]), max_size=60))
+def test_event_queue_ties_break_in_scheduling_order(times):
+    queue = EventQueue()
+    events = [queue.push(t, lambda: None) for t in times]
+    expected = sorted(events, key=lambda e: (e.time, e.sequence))
+    popped = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        popped.append(event)
+    assert popped == expected
+    # Sequence numbers within a tie must reflect scheduling order.
+    for earlier, later in zip(popped, popped[1:]):
+        if earlier.time == later.time:
+            assert earlier.sequence < later.sequence
+
+
+@given(times=st.lists(st.floats(0, 100), max_size=40),
+       cancel_mask=st.lists(st.booleans(), max_size=40))
+def test_event_queue_peek_time_matches_next_pop(times, cancel_mask):
+    queue = EventQueue()
+    events = [queue.push(t, lambda: None) for t in times]
+    for event, do_cancel in zip(events, cancel_mask):
+        if do_cancel:
+            event.cancel()
+    while True:
+        peeked = queue.peek_time()
+        event = queue.pop_pending()
+        if event is None:
+            assert peeked is None
+            break
+        assert peeked == event.time
 
 
 # --------------------------------------------------------------------------- #

@@ -111,6 +111,22 @@ class TestSimulator:
         sim.run()
         assert sim.processed_events == 2
 
+    def test_processed_events_is_live_during_run(self):
+        # Watchdog pattern: a callback must see the counter advance mid-run.
+        sim = Simulator()
+        seen = []
+
+        def spin():
+            seen.append(sim.processed_events)
+            if sim.processed_events < 3:
+                sim.schedule(1.0, spin)
+
+        sim.schedule(1.0, spin)
+        sim.run()
+        # The counter increments after each callback returns, so the Nth
+        # firing observes N-1 processed events.
+        assert seen == [0, 1, 2, 3]
+
     def test_call_soon_runs_at_current_time(self):
         sim = Simulator()
         times = []

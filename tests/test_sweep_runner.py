@@ -1,0 +1,129 @@
+"""Tests for the parallel sweep runner and its experiment integrations."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.fig09_tcp_sweep import (SweepConfig, run_fig9,
+                                               sweep_cells)
+from repro.experiments.runner import (SweepRunner, derive_cell_seed,
+                                      run_cells)
+
+
+# --------------------------------------------------------------------------- #
+# Module-level cell functions (must be picklable for worker processes)
+# --------------------------------------------------------------------------- #
+def square_cell(cell):
+    return cell * cell
+
+
+def seeded_cell(cell, seed):
+    return (cell, seed)
+
+
+def failing_cell(cell):
+    if cell == 2:
+        raise ValueError("cell 2 exploded")
+    return cell
+
+
+def os_error_cell(cell):
+    raise FileNotFoundError(f"cell {cell} lost its trace file")
+
+
+class TestSweepRunner:
+    def test_sequential_results_in_input_order(self):
+        assert SweepRunner(workers=1).map(square_cell, [3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_results_in_input_order(self):
+        cells = list(range(10))
+        assert SweepRunner(workers=4).map(square_cell, cells) == \
+            [c * c for c in cells]
+
+    def test_empty_grid(self):
+        assert SweepRunner(workers=4).map(square_cell, []) == []
+
+    def test_run_alias(self):
+        assert SweepRunner(workers=1).run(square_cell, [2]) == [4]
+
+    def test_master_seed_derives_per_cell_seeds(self):
+        results = SweepRunner(workers=1, master_seed=7).map(
+            seeded_cell, ["a", "b"])
+        assert results == [("a", derive_cell_seed(7, 0)),
+                           ("b", derive_cell_seed(7, 1))]
+
+    def test_derived_seeds_independent_of_worker_count(self):
+        seq = SweepRunner(workers=1, master_seed=13).map(seeded_cell,
+                                                         list(range(6)))
+        par = SweepRunner(workers=3, master_seed=13).map(seeded_cell,
+                                                         list(range(6)))
+        assert seq == par
+
+    def test_derive_cell_seed_decorrelates(self):
+        seeds = {derive_cell_seed(1, i) for i in range(100)}
+        assert len(seeds) == 100
+        assert derive_cell_seed(1, 0) != derive_cell_seed(2, 0)
+
+    def test_progress_callback_reaches_total(self):
+        seen = []
+        SweepRunner(workers=1, progress=lambda d, t: seen.append((d, t))).map(
+            square_cell, [1, 2, 3])
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_parallel_progress_counts_every_cell(self):
+        seen = []
+        SweepRunner(workers=2, progress=lambda d, t: seen.append((d, t))).map(
+            square_cell, list(range(5)))
+        assert seen[-1] == (5, 5)
+        assert [d for d, _ in seen] == sorted(d for d, _ in seen)
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="cell 2 exploded"):
+            SweepRunner(workers=2).map(failing_cell, [0, 1, 2, 3])
+        with pytest.raises(ValueError, match="cell 2 exploded"):
+            SweepRunner(workers=1).map(failing_cell, [0, 1, 2, 3])
+
+    def test_pool_failure_falls_back_to_sequential(self, monkeypatch):
+        import repro.experiments.runner as runner_module
+
+        def broken_pool(*_args, **_kwargs):
+            raise OSError("no semaphores on this platform")
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", broken_pool)
+        with pytest.warns(RuntimeWarning, match="re-running all 3 cells"):
+            assert SweepRunner(workers=4).map(square_cell, [1, 2, 3]) == \
+                [1, 4, 9]
+
+    def test_cell_os_error_is_not_swallowed_by_fallback(self):
+        # An OSError raised by the cell function must propagate, not be
+        # misread as "platform cannot host a process pool" (which would
+        # silently re-run the whole grid sequentially).
+        with pytest.raises(FileNotFoundError, match="lost its trace file"):
+            SweepRunner(workers=2).map(os_error_cell, [0, 1])
+
+    def test_run_cells_convenience(self):
+        assert run_cells(square_cell, [4], workers=1) == [16]
+
+
+# --------------------------------------------------------------------------- #
+# Determinism regression: parallel sweeps must be bit-identical to sequential
+# --------------------------------------------------------------------------- #
+MINI_SWEEP = SweepConfig(cc_names=("prague",), channels=("static", "mobile"),
+                         duration_s=1.0, seed=11)
+
+
+class TestSweepDeterminism:
+    def test_fig9_rows_identical_across_worker_counts(self):
+        sequential = run_fig9(MINI_SWEEP, workers=1)
+        parallel = run_fig9(MINI_SWEEP, workers=4)
+        seq_rows = json.dumps([c.as_row() for c in sequential], sort_keys=True)
+        par_rows = json.dumps([c.as_row() for c in parallel], sort_keys=True)
+        assert seq_rows == par_rows
+
+    def test_fig9_grid_order_preserved(self):
+        cells = sweep_cells(MINI_SWEEP)
+        results = run_fig9(MINI_SWEEP, workers=4)
+        assert [(r.cc_name, r.channel, r.marker) for r in results] == \
+            [(c[0], c[1], c[5]) for c in cells]
