@@ -1,14 +1,23 @@
-"""Command-line entry point: ``python -m repro <experiment> [options]``.
+"""Command-line entry point: ``python -m repro <command> [options]``.
 
-Runs one of the paper-figure harnesses (or a single ad-hoc scenario) and
-prints its rows as a text table.  This is a convenience wrapper around the
-same functions the benchmarks call; see ``--help`` for the available
-experiments.
+``scenario`` runs a single scenario — ad-hoc (``--cc/--marker/--channel``
+flags), from a named preset (``--preset two-cell-imbalance``) or from a JSON
+spec file (``--spec scenario.json``) — and prints its summary.  ``experiment``
+regenerates one of the paper's figures/tables.  Both accept ``--json`` for
+machine-readable output; ``scenario --dump-spec`` prints the resolved spec as
+JSON (the natural way to bootstrap a ``--spec`` file) without running it.
+
+All component choices (``--cc``, ``--marker``, ``--channel``,
+``--scheduler``, ``--preset``) are derived from the registries in
+:mod:`repro.registry`, so a newly registered component is immediately
+selectable here with no CLI edits.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import os
 import sys
 
@@ -16,13 +25,58 @@ from repro.experiments.report import format_table
 from repro.experiments.runner import default_workers
 
 
-def _run_scenario_command(args: argparse.Namespace) -> int:
-    from repro.experiments.scenario import ScenarioConfig, run_scenario
+def _build_spec(args: argparse.Namespace):
+    """Assemble the scenario spec from --spec / --preset plus flag overrides."""
+    from repro.experiments.presets import make_preset
+    from repro.experiments.spec import ScenarioSpec
 
-    result = run_scenario(ScenarioConfig(
-        num_ues=args.ues, duration_s=args.duration, cc_name=args.cc,
-        marker=args.marker, channel_profile=args.channel, seed=args.seed))
-    print(format_table([result.summary()]))
+    if args.spec is not None and args.preset is not None:
+        raise SystemExit("--spec and --preset are mutually exclusive")
+    if args.spec is not None:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec = ScenarioSpec.from_json(handle.read())
+    elif args.preset is not None:
+        spec = make_preset(args.preset)
+    else:
+        spec = ScenarioSpec(num_ues=4)
+    overrides = {"num_ues": args.ues, "duration_s": args.duration,
+                 "cc_name": args.cc, "marker": args.marker,
+                 "channel_profile": args.channel, "scheduler": args.scheduler,
+                 "seed": args.seed}
+    overrides = {key: value for key, value in overrides.items()
+                 if value is not None}
+    if args.marker is not None:
+        # The spec's legacy ``l4span`` boolean would otherwise outrank the
+        # explicitly requested marker.
+        overrides["l4span"] = None
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+    if spec.flows is not None:
+        # Explicit flow lists don't consult the scalar defaults; apply the
+        # flag to them directly rather than silently doing nothing.
+        if args.cc is not None:
+            spec = dataclasses.replace(
+                spec, flows=[dataclasses.replace(flow, cc_name=args.cc)
+                             for flow in spec.flows])
+        if args.ues is not None:
+            print("note: this spec defines explicit flows; --ues only adds "
+                  "idle UEs", file=sys.stderr)
+    return spec.validate()
+
+
+def _run_scenario_command(args: argparse.Namespace) -> int:
+    from repro.experiments.scenario import run_scenario
+
+    spec = _build_spec(args)
+    if args.dump_spec:
+        print(spec.to_json())
+        return 0
+    result = run_scenario(spec)
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(format_table([summary]))
     return 0
 
 
@@ -33,6 +87,7 @@ _EXPERIMENTS = {
     "fig11": ("repro.experiments.fig11_short_flows", "run_fig11", None),
     "fig12": ("repro.experiments.fig12_tcran", "run_fig12", None),
     "fig13": ("repro.experiments.fig13_interactive", "run_fig13", None),
+    "fig14": ("repro.experiments.fig14_fairness", "run_fig14", "fig14"),
     "fig15": ("repro.experiments.fig15_shortcircuit", "run_fig15", None),
     "fig16": ("repro.experiments.fig16_shared_drb", "run_fig16", None),
     "fig17": ("repro.experiments.fig17_queue_cdf", "run_fig17", None),
@@ -66,33 +121,61 @@ def _run_experiment_command(args: argparse.Namespace) -> int:
         rows = output.rows()
     elif row_adapter == "as_row":
         rows = [cell.as_row() for cell in output]
+    elif row_adapter == "fig14":
+        rows = [{"panel": panel.name,
+                 "fairness_index": panel.fairness_index,
+                 "mean_throughputs_mbps": panel.mean_throughputs_mbps}
+                for panel in output]
     else:
         rows = output
     drop = {"rtt_cdf", "queue_cdf", "error_cdf", "period_cdf", "cdf", "summary",
             "error_summary", "queue_summary"}
     printable = [{k: v for k, v in row.items() if k not in drop}
                  for row in rows]
-    print(format_table(printable))
+    if args.json:
+        print(json.dumps(printable, indent=2, sort_keys=True, default=str))
+    else:
+        print(format_table(printable))
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch to the requested command."""
+    # Importing the spec module pulls in every component family's defining
+    # modules, so all registries are populated before choices are derived.
+    import repro.experiments.spec  # noqa: F401
+    from repro.experiments.presets import preset_names
+    from repro.registry import (CC_SENDERS, CHANNEL_PROFILES, MARKERS,
+                                SCHEDULERS)
+
     parser = argparse.ArgumentParser(
         prog="repro", description="L4Span reproduction experiment runner")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     scenario = subparsers.add_parser(
-        "scenario", help="run a single ad-hoc scenario and print its summary")
-    scenario.add_argument("--ues", type=int, default=4)
-    scenario.add_argument("--duration", type=float, default=5.0)
-    scenario.add_argument("--cc", default="prague")
-    scenario.add_argument("--marker", default="l4span",
-                          choices=["none", "l4span", "tcran", "ran_dualpi2"])
-    scenario.add_argument("--channel", default="static",
-                          choices=["static", "pedestrian", "vehicular",
-                                   "mobile"])
-    scenario.add_argument("--seed", type=int, default=1)
+        "scenario",
+        help="run a single scenario (ad-hoc flags, --preset, or --spec) and "
+             "print its summary")
+    scenario.add_argument("--spec", metavar="FILE",
+                          help="JSON scenario spec file to run")
+    scenario.add_argument("--preset", choices=preset_names(),
+                          help="named preset scenario to run")
+    scenario.add_argument("--ues", type=int, default=None)
+    scenario.add_argument("--duration", type=float, default=None)
+    scenario.add_argument("--cc", default=None,
+                          choices=CC_SENDERS.names(include_aliases=True))
+    scenario.add_argument("--marker", default=None,
+                          choices=MARKERS.names(include_aliases=True))
+    scenario.add_argument("--channel", default=None,
+                          choices=CHANNEL_PROFILES.names(include_aliases=True))
+    scenario.add_argument("--scheduler", default=None,
+                          choices=SCHEDULERS.names(include_aliases=True))
+    scenario.add_argument("--seed", type=int, default=None)
+    scenario.add_argument("--json", action="store_true",
+                          help="print the summary as JSON instead of a table")
+    scenario.add_argument("--dump-spec", action="store_true",
+                          help="print the resolved spec as JSON and exit "
+                               "without running")
     scenario.set_defaults(handler=_run_scenario_command)
 
     experiment = subparsers.add_parser(
@@ -103,6 +186,8 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for grid experiments (default: "
              f"$REPRO_SWEEP_WORKERS or 1; this host has {os.cpu_count()} "
              "CPUs)")
+    experiment.add_argument("--json", action="store_true",
+                            help="print rows as JSON instead of a table")
     experiment.set_defaults(handler=_run_experiment_command)
 
     args = parser.parse_args(argv)

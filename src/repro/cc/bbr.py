@@ -13,9 +13,11 @@ from typing import Optional
 
 from repro.cc.base import WindowSender
 from repro.net.ecn import ECN
+from repro.registry import CC_SENDERS
 from repro.units import ms
 
 
+@CC_SENDERS.register("bbr")
 class BbrSender(WindowSender):
     """Simplified BBR: bandwidth/RTT probing with an in-flight cap.
 

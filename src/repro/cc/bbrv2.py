@@ -12,8 +12,10 @@ from typing import Optional
 
 from repro.cc.bbr import BbrSender
 from repro.net.ecn import ECN
+from repro.registry import CC_SENDERS
 
 
+@CC_SENDERS.register("bbr2", "bbrv2", is_l4s=True)
 class Bbr2Sender(BbrSender):
     """BBRv2 with ECN-triggered in-flight bounding."""
 

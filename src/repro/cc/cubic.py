@@ -13,8 +13,10 @@ from typing import Optional
 
 from repro.cc.base import WindowSender
 from repro.net.ecn import ECN
+from repro.registry import CC_SENDERS
 
 
+@CC_SENDERS.register("cubic")
 class CubicSender(WindowSender):
     """Classic-ECN CUBIC sender."""
 

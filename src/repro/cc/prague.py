@@ -13,8 +13,10 @@ from typing import Optional
 
 from repro.cc.base import WindowSender
 from repro.net.ecn import ECN
+from repro.registry import CC_SENDERS
 
 
+@CC_SENDERS.register("prague", is_l4s=True)
 class PragueSender(WindowSender):
     """L4S sender with AccECN feedback and scalable window response."""
 

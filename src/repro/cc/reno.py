@@ -6,8 +6,10 @@ from typing import Optional
 
 from repro.cc.base import WindowSender
 from repro.net.ecn import ECN
+from repro.registry import CC_SENDERS
 
 
+@CC_SENDERS.register("reno")
 class RenoSender(WindowSender):
     """Classic-ECN Reno sender: AI of one MSS per RTT, MD of one half."""
 

@@ -15,10 +15,12 @@ from typing import Optional
 from repro.cc.base import RateSender
 from repro.net.ecn import ECN
 from repro.net.packet import Packet
+from repro.registry import CC_SENDERS
 from repro.sim.engine import Simulator
 from repro.units import mbps, ms
 
 
+@CC_SENDERS.register("scream", is_l4s=True, is_udp=True, receiver="scream")
 class ScreamSender(RateSender):
     """Rate-based L4S video sender driven by RTCP-style feedback."""
 

@@ -14,10 +14,12 @@ from typing import Optional
 from repro.cc.base import RateSender
 from repro.net.ecn import ECN
 from repro.net.packet import Packet
+from repro.registry import CC_SENDERS
 from repro.sim.engine import Simulator
 from repro.units import mbps
 
 
+@CC_SENDERS.register("udp_prague", is_l4s=True, is_udp=True, receiver="udp")
 class UdpPragueSender(RateSender):
     """Rate-based Prague over UDP."""
 

@@ -1,33 +1,39 @@
-"""Build in-RAN markers by name, the way experiment configs select them."""
+"""Build in-RAN markers by name, the way experiment configs select them.
+
+The marker builders themselves are registered in
+:data:`repro.registry.MARKERS`, each next to its implementation
+(``repro.ran.marker`` for the no-op baseline, ``repro.core.l4span`` /
+``tcran`` / ``ran_dualpi2`` for the real strategies).  This module imports
+them all so registration has happened, and keeps the historical
+``make_marker`` entry point.
+"""
 
 from __future__ import annotations
 
 from typing import Optional
 
+# Importing the marker modules triggers their registration.
+import repro.core.l4span       # noqa: F401
+import repro.core.ran_dualpi2  # noqa: F401
+import repro.core.tcran        # noqa: F401
+import repro.ran.marker        # noqa: F401
 from repro.core.config import L4SpanConfig
-from repro.core.l4span import L4SpanLayer
-from repro.core.ran_dualpi2 import RanDualPi2Marker
-from repro.core.tcran import TcRanMarker
-from repro.ran.marker import NoopMarker, RanMarker
+from repro.ran.marker import RanMarker
+from repro.registry import MARKERS
 from repro.sim.engine import Simulator
-from repro.units import ms
 
-#: Marker names understood by :func:`make_marker`.
-MARKER_NAMES = ("none", "l4span", "tcran", "ran_dualpi2", "ran_dualpi2_10ms")
+
+def marker_names() -> list[str]:
+    """Registered marker names (CLI ``choices=``, spec validation)."""
+    return MARKERS.names()
+
+
+#: Marker names understood by :func:`make_marker` (kept for compatibility).
+MARKER_NAMES = tuple(MARKERS.names())
 
 
 def make_marker(name: str, sim: Simulator,
                 l4span_config: Optional[L4SpanConfig] = None) -> RanMarker:
-    """Instantiate a marker: "none", "l4span", "tcran" or "ran_dualpi2[_10ms]"."""
-    key = (name or "none").lower()
-    if key in ("none", "off", "baseline"):
-        return NoopMarker()
-    if key == "l4span":
-        return L4SpanLayer(sim, config=l4span_config)
-    if key == "tcran":
-        return TcRanMarker(sim)
-    if key == "ran_dualpi2":
-        return RanDualPi2Marker(sim, l4s_threshold=ms(1))
-    if key == "ran_dualpi2_10ms":
-        return RanDualPi2Marker(sim, l4s_threshold=ms(10))
-    raise KeyError(f"unknown marker {name!r}; choose from {MARKER_NAMES}")
+    """Instantiate the marker registered under ``name`` ("none" when empty)."""
+    builder = MARKERS.get(name or "none")
+    return builder(sim, l4span_config=l4span_config)

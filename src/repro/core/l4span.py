@@ -36,6 +36,7 @@ from repro.net.ecn import ECN, FlowClass
 from repro.net.packet import Packet
 from repro.ran.f1u import DeliveryStatus
 from repro.ran.identifiers import DrbId, DrbKey, UeId
+from repro.registry import MARKERS
 from repro.sim.engine import Simulator
 
 
@@ -289,3 +290,11 @@ class L4SpanLayer:
             "flows": len(self._flows),
             "drbs": len(self._drbs),
         }
+
+
+@MARKERS.register("l4span", is_l4span=True)
+def _build_l4span_layer(sim: Simulator,
+                        l4span_config: Optional[L4SpanConfig] = None
+                        ) -> L4SpanLayer:
+    """The paper's marking layer, honouring the scenario's L4Span config."""
+    return L4SpanLayer(sim, config=l4span_config)

@@ -25,6 +25,7 @@ from repro.net.ecn import ECN, FlowClass
 from repro.net.packet import Packet
 from repro.ran.f1u import DeliveryStatus
 from repro.ran.identifiers import DrbId, DrbKey, UeId
+from repro.registry import MARKERS
 from repro.sim.engine import Simulator
 from repro.sim.randomness import chance
 from repro.units import ms
@@ -103,3 +104,16 @@ class RanDualPi2Marker:
 
     def on_uplink_packet(self, packet: Packet, now: float) -> None:
         self.uplink_packets += 1
+
+
+@MARKERS.register("ran_dualpi2")
+def _build_ran_dualpi2(sim: Simulator, l4span_config=None) -> RanDualPi2Marker:
+    """DualPi2 moved into the RAN, with its stock 1 ms L4S step threshold."""
+    return RanDualPi2Marker(sim, l4s_threshold=ms(1))
+
+
+@MARKERS.register("ran_dualpi2_10ms")
+def _build_ran_dualpi2_10ms(sim: Simulator,
+                            l4span_config=None) -> RanDualPi2Marker:
+    """RAN DualPi2 with the threshold lifted to L4Span's 10 ms tau_s."""
+    return RanDualPi2Marker(sim, l4s_threshold=ms(10))

@@ -22,6 +22,7 @@ from repro.net.ecn import ECN
 from repro.net.packet import Packet
 from repro.ran.f1u import DeliveryStatus
 from repro.ran.identifiers import DrbId, DrbKey, UeId
+from repro.registry import MARKERS
 from repro.sim.engine import Simulator
 from repro.units import ms
 
@@ -111,3 +112,9 @@ class TcRanMarker:
 
     def on_uplink_packet(self, packet: Packet, now: float) -> None:
         self.uplink_packets += 1
+
+
+@MARKERS.register("tcran")
+def _build_tcran_marker(sim: Simulator, l4span_config=None) -> TcRanMarker:
+    """TC-RAN: CoDel-style hard-threshold marking at the CU."""
+    return TcRanMarker(sim)

@@ -6,14 +6,22 @@ harness configures; the ``figXX_*`` modules encode each experiment's workload
 and produce the rows/series the paper reports.
 """
 
+from repro.experiments.presets import make_preset, preset_names
 from repro.experiments.runner import (SweepRunner, derive_cell_seed,
                                       run_cells)
 from repro.experiments.scenario import (FlowResult, ScenarioConfig,
                                         ScenarioResult, build_scenario,
-                                        run_scenario)
+                                        run_scenario, run_scenario_dict)
+from repro.experiments.spec import CellSpec, ScenarioSpec, UeSpec
 from repro.experiments.wired import WiredScenarioConfig, run_wired_scenario
 
 __all__ = [
+    "ScenarioSpec",
+    "CellSpec",
+    "UeSpec",
+    "make_preset",
+    "preset_names",
+    "run_scenario_dict",
     "ScenarioConfig",
     "ScenarioResult",
     "FlowResult",

@@ -13,7 +13,8 @@ from typing import Callable, Optional
 
 from repro.core.config import L4SpanConfig
 from repro.experiments.runner import SweepRunner
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.experiments.scenario import run_scenario
+from repro.experiments.spec import ScenarioSpec
 from repro.metrics.stats import box_stats
 from repro.units import ms
 
@@ -29,15 +30,12 @@ class AblationConfig:
     seed: int = 61
 
 
-def _run_marker_cell(cell: tuple) -> dict:
-    """Spawn-safe adapter: one marker-strategy cell."""
-    marker, config = cell
-    result = run_scenario(ScenarioConfig(
-        num_ues=config.num_ues, duration_s=config.duration_s,
-        cc_name=config.cc_name, marker=marker,
-        channel_profile=config.channel, seed=config.seed))
+def _run_marker_cell(cell: dict) -> dict:
+    """Spawn-safe adapter: one marker-strategy spec-dict cell."""
+    spec = ScenarioSpec.from_dict(cell)
+    result = run_scenario(spec)
     owd = box_stats(result.all_owd_samples())
-    return {"marker": marker,
+    return {"marker": spec.marker,
             "owd_median_ms": owd.median * 1e3,
             "throughput_mbps": result.total_goodput_mbps()}
 
@@ -48,7 +46,10 @@ def marking_strategy_ablation(config: Optional[AblationConfig] = None,
                               = None) -> list[dict]:
     """Compare L4Span's marking with hard-threshold DualPi2 in the RAN."""
     config = config if config is not None else AblationConfig()
-    cells = [(marker, config)
+    cells = [ScenarioSpec(
+                 num_ues=config.num_ues, duration_s=config.duration_s,
+                 cc_name=config.cc_name, marker=marker,
+                 channel_profile=config.channel, seed=config.seed).to_dict()
              for marker in ("l4span", "ran_dualpi2", "ran_dualpi2_10ms",
                             "none")]
     runner = SweepRunner(workers=workers, progress=progress)
@@ -56,14 +57,9 @@ def marking_strategy_ablation(config: Optional[AblationConfig] = None,
 
 
 def _run_window_cell(cell: tuple) -> dict:
-    """Spawn-safe adapter: one estimation-window cell."""
-    window_ms, config = cell
-    l4span_config = L4SpanConfig(coherence_time=ms(2 * window_ms))
-    result = run_scenario(ScenarioConfig(
-        num_ues=config.num_ues, duration_s=config.duration_s,
-        cc_name=config.cc_name, marker="l4span",
-        channel_profile=config.channel, l4span_config=l4span_config,
-        seed=config.seed))
+    """Spawn-safe adapter: one (window_ms, spec dict) cell."""
+    window_ms, spec_dict = cell
+    result = run_scenario(ScenarioSpec.from_dict(spec_dict))
     owd = box_stats(result.all_owd_samples())
     return {"window_ms": window_ms,
             "owd_median_ms": owd.median * 1e3,
@@ -77,6 +73,13 @@ def window_sweep(config: Optional[AblationConfig] = None,
                  ) -> list[dict]:
     """Sweep the egress-rate estimation window length."""
     config = config if config is not None else AblationConfig()
-    cells = [(window_ms, config) for window_ms in windows_ms]
+    cells = [(window_ms,
+              ScenarioSpec(
+                  num_ues=config.num_ues, duration_s=config.duration_s,
+                  cc_name=config.cc_name, marker="l4span",
+                  channel_profile=config.channel,
+                  l4span_config=L4SpanConfig(coherence_time=ms(2 * window_ms)),
+                  seed=config.seed).to_dict())
+             for window_ms in windows_ms]
     runner = SweepRunner(workers=workers, progress=progress)
     return runner.map(_run_window_cell, cells)

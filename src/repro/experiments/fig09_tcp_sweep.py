@@ -19,7 +19,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
 from repro.experiments.runner import SweepRunner
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.experiments.scenario import run_scenario
+from repro.experiments.spec import ScenarioSpec
 from repro.metrics.stats import BoxStats, box_stats
 from repro.ran.identifiers import DEFAULT_RLC_QUEUE_SDUS, SHORT_RLC_QUEUE_SDUS
 from repro.units import ms
@@ -66,34 +67,42 @@ class SweepCell:
         }
 
 
-def run_sweep_cell(cc_name: str, channel: str, num_ues: int, rlc_queue: int,
-                   wan_rtt: float, marker: str, duration_s: float,
-                   seed: int) -> SweepCell:
-    """Run one cell of the Fig. 9 grid."""
-    result = run_scenario(ScenarioConfig(
-        num_ues=num_ues, duration_s=duration_s, cc_name=cc_name,
-        marker=marker, channel_profile=channel, wan_rtt=wan_rtt,
-        rlc_queue_sdus=rlc_queue, seed=seed))
+def run_spec_cell(spec: ScenarioSpec) -> SweepCell:
+    """Run one cell of the Fig. 9 grid, described by its scenario spec."""
+    result = run_scenario(spec)
     per_ue_mbps = [f.goodput_mbps for f in result.flows]
-    return SweepCell(cc_name=cc_name, channel=channel, num_ues=num_ues,
-                     rlc_queue=rlc_queue, wan_rtt=wan_rtt, marker=marker,
+    return SweepCell(cc_name=spec.cc_name, channel=spec.channel_profile,
+                     num_ues=spec.num_ues, rlc_queue=spec.rlc_queue_sdus,
+                     wan_rtt=spec.wan_rtt, marker=spec.marker,
                      owd=box_stats(result.all_owd_samples()),
                      per_ue_throughput_mbps=box_stats(per_ue_mbps),
                      total_goodput_mbps=result.total_goodput_mbps())
 
 
-def sweep_cells(config: SweepConfig) -> list[tuple]:
-    """The grid as a list of ``run_sweep_cell`` argument tuples."""
-    return [(cc, channel, ues, queue, rtt, marker,
-             config.duration_s, config.seed)
+def run_sweep_cell(cc_name: str, channel: str, num_ues: int, rlc_queue: int,
+                   wan_rtt: float, marker: str, duration_s: float,
+                   seed: int) -> SweepCell:
+    """Run one cell of the Fig. 9 grid (historical argument-tuple form)."""
+    return run_spec_cell(ScenarioSpec(
+        num_ues=num_ues, duration_s=duration_s, cc_name=cc_name,
+        marker=marker, channel_profile=channel, wan_rtt=wan_rtt,
+        rlc_queue_sdus=rlc_queue, seed=seed))
+
+
+def sweep_cells(config: SweepConfig) -> list[dict]:
+    """The grid as a list of picklable scenario-spec dicts."""
+    return [ScenarioSpec(
+                num_ues=ues, duration_s=config.duration_s, cc_name=cc,
+                marker=marker, channel_profile=channel, wan_rtt=rtt,
+                rlc_queue_sdus=queue, seed=config.seed).to_dict()
             for cc, channel, ues, queue, rtt, marker in itertools.product(
                 config.cc_names, config.channels, config.ue_counts,
                 config.rlc_queues, config.wan_rtts, config.markers)]
 
 
-def _run_cell(cell: tuple) -> SweepCell:
-    """Module-level (spawn-safe) adapter from a cell tuple to its result."""
-    return run_sweep_cell(*cell)
+def _run_cell(cell: dict) -> SweepCell:
+    """Module-level (spawn-safe) adapter from a spec dict to its result."""
+    return run_spec_cell(ScenarioSpec.from_dict(cell))
 
 
 def run_fig9(config: Optional[SweepConfig] = None, workers: int = 1,

@@ -53,13 +53,14 @@ def _panel_flows(cc_names: list[str], config: FairnessConfig,
             flow_id=index, ue_id=index, cc_name=cc,
             start_time=index * config.stagger_s,
             stop_time=config.duration_s - index * config.stagger_s * 0.5,
-            label=f"{cc}-{index}"))
+            label=f"{cc}-{index}",
+            wan_rtt=rtts[index] if rtts is not None else None))
     return flows
 
 
 def _run_panel(name: str, cc_names: list[str], config: FairnessConfig,
                wan_rtts: Optional[list[float]] = None) -> FairnessPanel:
-    flows = _panel_flows(cc_names, config)
+    flows = _panel_flows(cc_names, config, rtts=wan_rtts)
     scenario = ScenarioConfig(num_ues=len(cc_names),
                               duration_s=config.duration_s,
                               marker="l4span", flows=flows, seed=config.seed,
@@ -86,7 +87,7 @@ def run_fig14(config: Optional[FairnessConfig] = None) -> list[FairnessPanel]:
         _run_panel("3x prague (equal RTT)", ["prague", "prague", "prague"],
                    config),
         _run_panel("3x prague (distinct RTT)", ["prague", "prague", "prague"],
-                   config),
+                   config, wan_rtts=[ms(18), ms(38), ms(78)]),
         _run_panel("2x prague + cubic", ["prague", "cubic", "prague"], config),
         _run_panel("2x prague + bbr2", ["prague", "bbr2", "prague"], config),
     ]

@@ -13,7 +13,8 @@ from typing import Callable, Optional
 
 from repro.core.config import L4SpanConfig
 from repro.experiments.runner import SweepRunner
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.experiments.scenario import run_scenario
+from repro.experiments.spec import ScenarioSpec
 from repro.metrics.stats import box_stats
 from repro.units import ms
 
@@ -30,16 +31,13 @@ class ThresholdSweepConfig:
 
 
 def _run_cell(cell: tuple) -> dict:
-    """Spawn-safe adapter: one (threshold, ues, config) grid cell."""
-    threshold_ms, ues, config = cell
-    l4span_config = L4SpanConfig(sojourn_threshold=ms(threshold_ms))
-    result = run_scenario(ScenarioConfig(
-        num_ues=ues, duration_s=config.duration_s,
-        cc_name=config.cc_name, marker="l4span",
-        l4span_config=l4span_config, seed=config.seed))
+    """Spawn-safe adapter: one (threshold_ms, spec dict) grid cell."""
+    threshold_ms, spec_dict = cell
+    spec = ScenarioSpec.from_dict(spec_dict)
+    result = run_scenario(spec)
     rtt = box_stats(result.all_rtt_samples())
     return {
-        "threshold_ms": threshold_ms, "ues": ues,
+        "threshold_ms": threshold_ms, "ues": spec.num_ues,
         "rtt_mean_ms": rtt.mean * 1e3,
         "rate_sum_mbps": result.total_goodput_mbps(),
     }
@@ -50,7 +48,13 @@ def run_fig19(config: Optional[ThresholdSweepConfig] = None, workers: int = 1,
               ) -> list[dict]:
     """Run the tau_s sweep; one row per (threshold, UE count)."""
     config = config if config is not None else ThresholdSweepConfig()
-    cells = [(threshold_ms, ues, config)
+    cells = [(threshold_ms,
+              ScenarioSpec(
+                  num_ues=ues, duration_s=config.duration_s,
+                  cc_name=config.cc_name, marker="l4span",
+                  l4span_config=L4SpanConfig(
+                      sojourn_threshold=ms(threshold_ms)),
+                  seed=config.seed).to_dict())
              for threshold_ms, ues in itertools.product(config.thresholds_ms,
                                                         config.ue_counts)]
     runner = SweepRunner(workers=workers, progress=progress)

@@ -12,7 +12,8 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.experiments.runner import SweepRunner
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.experiments.scenario import run_scenario
+from repro.experiments.spec import ScenarioSpec
 from repro.metrics.stats import cdf_points, percentile, summarize
 
 
@@ -27,16 +28,13 @@ class RateErrorConfig:
     seed: int = 47
 
 
-def _run_cell(cell: tuple) -> dict:
-    """Spawn-safe adapter: one per-channel grid cell."""
-    channel, config = cell
-    result = run_scenario(ScenarioConfig(
-        num_ues=config.num_ues, duration_s=config.duration_s,
-        cc_name=config.cc_name, marker="l4span",
-        channel_profile=channel, rate_probe=True, seed=config.seed))
+def _run_cell(cell: dict) -> dict:
+    """Spawn-safe adapter: one per-channel spec-dict grid cell."""
+    spec = ScenarioSpec.from_dict(cell)
+    result = run_scenario(spec)
     errors = result.rate_estimation_errors
     return {
-        "channel": channel,
+        "channel": spec.channel_profile,
         "error_summary": summarize(errors),
         "median_abs_error_pct": percentile([abs(e) for e in errors], 50)
         if errors else float("nan"),
@@ -49,6 +47,11 @@ def run_fig20(config: Optional[RateErrorConfig] = None, workers: int = 1,
               ) -> list[dict]:
     """Run the estimation-error grid; one row per channel condition."""
     config = config if config is not None else RateErrorConfig()
-    cells = [(channel, config) for channel in config.channels]
+    cells = [ScenarioSpec(
+                 num_ues=config.num_ues, duration_s=config.duration_s,
+                 cc_name=config.cc_name, marker="l4span",
+                 channel_profile=channel, rate_probe=True,
+                 seed=config.seed).to_dict()
+             for channel in config.channels]
     runner = SweepRunner(workers=workers, progress=progress)
     return runner.map(_run_cell, cells)

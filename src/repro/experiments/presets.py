@@ -1,0 +1,89 @@
+"""Named scenario presets: one-liner heterogeneous topologies.
+
+Each preset is a function returning a ready-to-run
+:class:`~repro.experiments.spec.ScenarioSpec`, registered in
+:data:`repro.registry.SCENARIO_PRESETS` so the CLI can offer
+``python -m repro scenario --preset NAME`` (and ``--dump-spec`` turns any
+preset into a JSON file you can edit and replay with ``--spec``).
+
+The presets exercise exactly the scenario diversity the spec layer added:
+multiple cells sharing one core, mixed channel populations, mixed congestion
+controllers, per-flow WAN RTTs and mixed workloads.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.spec import CellSpec, ScenarioSpec, UeSpec
+from repro.ran.cell import CellConfig
+from repro.registry import SCENARIO_PRESETS
+from repro.units import ms
+from repro.workloads.flows import FlowSpec
+
+
+def preset_names() -> list[str]:
+    """Registered preset names (CLI ``choices=``)."""
+    return SCENARIO_PRESETS.names()
+
+
+def make_preset(name: str) -> ScenarioSpec:
+    """Build (and validate) the named preset's spec."""
+    return SCENARIO_PRESETS.get(name)().validate()
+
+
+@SCENARIO_PRESETS.register("congested-cell")
+def congested_cell() -> ScenarioSpec:
+    """Six mixed-mobility Prague UEs saturating a single cell."""
+    return ScenarioSpec(
+        name="congested-cell", num_ues=6, duration_s=6.0,
+        channel_profile="mobile", cc_name="prague", marker="l4span", seed=7)
+
+
+@SCENARIO_PRESETS.register("mixed-cc")
+def mixed_cc() -> ScenarioSpec:
+    """Prague, CUBIC and BBRv2 sharing the cell, one UE each."""
+    return ScenarioSpec(
+        name="mixed-cc", num_ues=3, duration_s=6.0, marker="l4span", seed=7,
+        flows=[FlowSpec(flow_id=0, ue_id=0, cc_name="prague", label="prague"),
+               FlowSpec(flow_id=1, ue_id=1, cc_name="cubic", label="cubic"),
+               FlowSpec(flow_id=2, ue_id=2, cc_name="bbr2", label="bbr2")])
+
+
+@SCENARIO_PRESETS.register("distinct-rtt")
+def distinct_rtt() -> ScenarioSpec:
+    """Three Prague flows with 18/38/78 ms WAN RTTs (Fig. 14b's setting)."""
+    return ScenarioSpec(
+        name="distinct-rtt", num_ues=3, duration_s=6.0, marker="l4span",
+        seed=7,
+        flows=[FlowSpec(flow_id=i, ue_id=i, cc_name="prague",
+                        label=f"rtt-{int(rtt * 1e3)}ms", wan_rtt=rtt)
+               for i, rtt in enumerate((ms(18), ms(38), ms(78)))])
+
+
+@SCENARIO_PRESETS.register("two-cell-imbalance")
+def two_cell_imbalance() -> ScenarioSpec:
+    """A congested wide cell and a quiet narrow cell sharing one 5G core.
+
+    Cell 0 carries three vehicular UEs; cell 1 a single static UE.  The
+    quiet cell's UE should keep its low delay regardless of its neighbours.
+    """
+    return ScenarioSpec(
+        name="two-cell-imbalance", num_ues=0, duration_s=6.0,
+        marker="l4span", seed=7,
+        cells=[CellSpec(cell_id=0),
+               CellSpec(cell_id=1,
+                        radio=CellConfig(bandwidth_mhz=10.0, num_prb=24))],
+        ues=[UeSpec(ue_id=0, cell_id=0, channel_profile="vehicular"),
+             UeSpec(ue_id=1, cell_id=0, channel_profile="vehicular"),
+             UeSpec(ue_id=2, cell_id=0, channel_profile="vehicular"),
+             UeSpec(ue_id=3, cell_id=1, channel_profile="static")])
+
+
+@SCENARIO_PRESETS.register("video-plus-bulk")
+def video_plus_bulk() -> ScenarioSpec:
+    """A SCReAM interactive-video flow next to two Prague bulk downloads."""
+    return ScenarioSpec(
+        name="video-plus-bulk", num_ues=3, duration_s=6.0, marker="l4span",
+        seed=7,
+        flows=[FlowSpec(flow_id=0, ue_id=0, cc_name="scream", label="video"),
+               FlowSpec(flow_id=1, ue_id=1, cc_name="prague", label="bulk"),
+               FlowSpec(flow_id=2, ue_id=2, cc_name="prague", label="bulk")])

@@ -1,33 +1,38 @@
 """The generic 5G scenario builder used by every experiment harness.
 
-A scenario wires, for each flow:
+A scenario is described declaratively by a
+:class:`~repro.experiments.spec.ScenarioSpec` (``ScenarioConfig`` is the
+historical alias) and wires, for each flow:
 
     content server (CC sender)
-        -> WAN delay pipe (half the Azure ping time)
+        -> WAN delay pipe (half the flow's WAN RTT)
         -> [optional wired middlebox whose rate can be throttled]
         -> 5G core (UPF)
-        -> gNB CU-UP (marker: none / L4Span / TC-RAN / RAN-DualPi2)
+        -> serving gNB CU-UP (marker: none / L4Span / TC-RAN / RAN-DualPi2)
         -> F1-U -> DU RLC queue -> MAC/PHY -> UE
         -> client receiver
         -> uplink (UE grant-cycle delay) -> gNB CU (marker sees the ACK)
         -> 5G core -> WAN delay pipe -> back to the sender
 
-and runs the discrete-event simulation for the configured duration,
-collecting one-way delays, RTTs, throughput, RLC queue occupancy and the
-delay breakdown.
+One scenario may hold several cells (gNBs) sharing the single 5G core; each
+UE attaches to the cell named by its :class:`~repro.experiments.spec.UeSpec`,
+with its own channel profile, SNR and RLC configuration.  The builder runs
+the discrete-event simulation for the configured duration, collecting
+one-way delays, RTTs, throughput, RLC queue occupancy and the delay
+breakdown.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-from repro.cc.base import RateSender, Sender
-from repro.cc.factory import is_l4s_algorithm, is_udp_algorithm, make_receiver, make_sender
+from repro.cc.base import Sender
+from repro.cc.factory import is_udp_algorithm, make_receiver, make_sender
 from repro.channel.profiles import make_channel
-from repro.core.config import L4SpanConfig
 from repro.core.factory import make_marker
 from repro.core.l4span import L4SpanLayer
+from repro.experiments.spec import (CellSpec, ScenarioSpec, UeSpec)
 from repro.metrics.collectors import (DelayBreakdownAccumulator, OwdCollector,
                                       QueueSampler, RateEstimationProbe,
                                       ThroughputCollector, TimeSeries)
@@ -36,63 +41,18 @@ from repro.net.addresses import FiveTuple
 from repro.net.packet import Packet
 from repro.net.pipe import DelayPipe
 from repro.net.router import BottleneckRouter
-from repro.ran.cell import CellConfig
 from repro.ran.core import FiveGCore
 from repro.ran.gnb import GNodeB
-from repro.ran.identifiers import DEFAULT_RLC_QUEUE_SDUS, RlcMode
-from repro.ran.mac import SchedulerPolicy
-from repro.ran.phy import AirInterfaceConfig
+from repro.ran.identifiers import RlcMode
+from repro.ran.mac import resolve_scheduler
 from repro.ran.ue import UeConfig, UeContext
 from repro.sim.engine import Simulator
-from repro.units import mbps, ms, to_mbps
+from repro.units import mbps, to_mbps
 from repro.workloads.flows import FlowSpec
 
-
-@dataclass
-class ScenarioConfig:
-    """Everything needed to describe one experiment run.
-
-    The defaults reproduce the paper's common setting: a ~40 Mbit/s n78 cell,
-    38 ms WAN RTT, RLC AM with the default 16384-SDU queue, round-robin MAC
-    scheduling and separate L4S/classic DRBs per UE.
-    """
-
-    num_ues: int = 1
-    duration_s: float = 5.0
-    cc_name: str = "prague"
-    marker: str = "l4span"          # "none", "l4span", "tcran", "ran_dualpi2"
-    l4span: Optional[bool] = None   # convenience alias: True -> "l4span", False -> "none"
-    channel_profile: str = "static"
-    wan_rtt: float = ms(38)
-    scheduler: str = "rr"
-    rlc_queue_sdus: int = DEFAULT_RLC_QUEUE_SDUS
-    rlc_mode: str = "am"
-    separate_drbs: bool = True
-    seed: int = 1
-    flows: Optional[list[FlowSpec]] = None
-    mean_snr_db: float = 22.0
-    cell: CellConfig = field(default_factory=CellConfig)
-    air: AirInterfaceConfig = field(default_factory=AirInterfaceConfig)
-    l4span_config: L4SpanConfig = field(default_factory=L4SpanConfig)
-    queue_sample_interval: float = 0.05
-    throughput_window: float = 0.25
-    rate_probe: bool = False
-    # Optional wired middlebox between the WAN and the 5G core whose rate can
-    # be throttled during the run (Fig. 2's bottleneck shift).
-    wired_bottleneck_mbps: Optional[float] = None
-    wired_bottleneck_schedule: list = field(default_factory=list)
-    warmup_s: float = 0.5
-
-    def resolved_marker(self) -> str:
-        """Resolve the ``l4span`` boolean alias onto the marker name."""
-        if self.l4span is None:
-            return self.marker
-        return "l4span" if self.l4span else "none"
-
-    def label(self) -> str:
-        """Short human-readable description used in reports."""
-        return (f"{self.cc_name}/{self.channel_profile}/{self.num_ues}ue/"
-                f"{self.resolved_marker()}")
+#: The declarative spec is the configuration object; the historical name is
+#: kept so every pre-spec call site (and pickled configs) keeps working.
+ScenarioConfig = ScenarioSpec
 
 
 @dataclass
@@ -129,7 +89,7 @@ class FlowResult:
 class ScenarioResult:
     """Everything an experiment harness needs after one run."""
 
-    config: ScenarioConfig
+    config: ScenarioSpec
     flows: list[FlowResult]
     queue_length_samples: list[int]
     queue_length_by_drb: dict[str, list[int]]
@@ -206,28 +166,41 @@ class ScenarioResult:
 class BuiltScenario:
     """A wired-up scenario ready to run (exposed for advanced tests)."""
 
-    def __init__(self, config: ScenarioConfig) -> None:
-        self.config = config
+    def __init__(self, config: ScenarioSpec) -> None:
+        self.config = config.validate()
         self.sim = Simulator(seed=config.seed)
         marker_name = config.resolved_marker()
-        self.marker = make_marker(marker_name, self.sim,
-                                  l4span_config=config.l4span_config)
-        policy = (SchedulerPolicy.PROPORTIONAL_FAIR
-                  if config.scheduler.lower() in ("pf", "proportional_fair")
-                  else SchedulerPolicy.ROUND_ROBIN)
-        self.gnb = GNodeB(self.sim, cell=config.cell, scheduler_policy=policy,
-                          marker=self.marker, air_config=config.air)
+        self.cell_specs: list[CellSpec] = config.resolved_cells()
+        self.markers: dict[int, object] = {}
+        self.gnbs: dict[int, GNodeB] = {}
+        for cell_spec in self.cell_specs:
+            marker = make_marker(marker_name, self.sim,
+                                 l4span_config=config.l4span_config)
+            name = ("gnb" if cell_spec.cell_id == 0
+                    else f"gnb{cell_spec.cell_id}")
+            gnb = GNodeB(self.sim, cell=cell_spec.radio,
+                         scheduler_policy=resolve_scheduler(cell_spec.scheduler),
+                         marker=marker, air_config=cell_spec.air, name=name)
+            self.markers[cell_spec.cell_id] = marker
+            self.gnbs[cell_spec.cell_id] = gnb
+        first_cell = self.cell_specs[0].cell_id
+        #: The first cell's gNB / marker (the whole scenario's, when there is
+        #: only one cell) — the view most harnesses and tests use.
+        self.gnb = self.gnbs[first_cell]
+        self.marker = self.markers[first_cell]
         self.core = FiveGCore(self.sim)
-        self.gnb.uplink_sink = _UplinkAdapter(self.core)
+        for gnb in self.gnbs.values():
+            gnb.uplink_sink = _UplinkAdapter(self.core)
         self.ues: dict[int, UeContext] = {}
+        self.ue_specs: dict[int, UeSpec] = {ue.ue_id: ue
+                                            for ue in config.resolved_ues()}
         self.senders: dict[int, Sender] = {}
         self.receivers: dict[int, object] = {}
-        self.flow_specs: list[FlowSpec] = (config.flows if config.flows is not None
-                                           else self._default_flows())
+        self.flow_specs: list[FlowSpec] = config.resolved_flows()
         self.owd = OwdCollector()
         self.throughput = ThroughputCollector(window=config.throughput_window)
         self.breakdown = DelayBreakdownAccumulator()
-        self.queue_sampler = QueueSampler(self.sim, self.gnb,
+        self.queue_sampler = QueueSampler(self.sim, list(self.gnbs.values()),
                                           interval=config.queue_sample_interval)
         self.rate_probe: Optional[RateEstimationProbe] = None
         self._build_ues()
@@ -240,35 +213,30 @@ class BuiltScenario:
             self._insert_wired_bottleneck()
 
     # ------------------------------------------------------------------ #
-    def _default_flows(self) -> list[FlowSpec]:
-        return [FlowSpec(flow_id=i, ue_id=i % max(1, self.config.num_ues),
-                         cc_name=self.config.cc_name, label="bulk")
-                for i in range(self.config.num_ues)]
-
     def _ue_ip(self, ue_id: int) -> str:
         return f"10.45.0.{(ue_id % 250) + 2}"
 
     def _build_ues(self) -> None:
-        config = self.config
-        rlc_mode = RlcMode.AM if config.rlc_mode.lower() == "am" else RlcMode.UM
-        ue_ids = sorted({spec.ue_id for spec in self.flow_specs}
-                        | set(range(config.num_ues)))
-        for ue_id in ue_ids:
+        for ue_spec in self.ue_specs.values():
+            gnb = self.gnbs[ue_spec.cell_id]
             channel = make_channel(
-                config.channel_profile,
-                rng=self.sim.random.stream(f"channel-ue{ue_id}"),
-                mean_snr_db=config.mean_snr_db,
-                carrier_ghz=config.cell.carrier_ghz,
-                ue_index=ue_id)
-            ue_config = UeConfig(ue_id=ue_id,
-                                 channel_profile=config.channel_profile,
+                ue_spec.channel_profile,
+                rng=self.sim.random.stream(f"channel-ue{ue_spec.ue_id}"),
+                mean_snr_db=ue_spec.mean_snr_db,
+                carrier_ghz=gnb.cell.carrier_ghz,
+                ue_index=ue_spec.ue_id)
+            rlc_mode = (RlcMode.AM if ue_spec.rlc_mode.lower() == "am"
+                        else RlcMode.UM)
+            ue_config = UeConfig(ue_id=ue_spec.ue_id,
+                                 channel_profile=ue_spec.channel_profile,
                                  rlc_mode=rlc_mode,
-                                 rlc_queue_sdus=config.rlc_queue_sdus,
-                                 separate_drbs=config.separate_drbs)
+                                 rlc_queue_sdus=ue_spec.rlc_queue_sdus,
+                                 separate_drbs=ue_spec.separate_drbs)
             ue = UeContext(self.sim, ue_config, channel)
-            self.gnb.attach_ue(ue)
-            self.core.register_ue_address(self._ue_ip(ue_id), self.gnb, ue_id)
-            self.ues[ue_id] = ue
+            gnb.attach_ue(ue)
+            self.core.register_ue_address(self._ue_ip(ue_spec.ue_id), gnb,
+                                          ue_spec.ue_id)
+            self.ues[ue_spec.ue_id] = ue
 
     def _forward_entry_sink(self):
         """The component WAN pipes feed into (wired middlebox or the core)."""
@@ -289,8 +257,9 @@ class BuiltScenario:
     def _build_flows(self) -> None:
         config = self.config
         self._wan_pipes: list[DelayPipe] = []
-        one_way = config.wan_rtt / 2.0
         for spec in self.flow_specs:
+            wan_rtt = spec.wan_rtt if spec.wan_rtt is not None else config.wan_rtt
+            one_way = wan_rtt / 2.0
             protocol = "udp" if is_udp_algorithm(spec.cc_name) else "tcp"
             five_tuple = FiveTuple(src_ip="10.0.0.1", src_port=443,
                                    dst_ip=self._ue_ip(spec.ue_id),
@@ -327,11 +296,34 @@ class BuiltScenario:
         return callback
 
     # ------------------------------------------------------------------ #
+    def _marker_for_flow(self, spec: FlowSpec):
+        """The marker of the cell serving the flow's UE."""
+        return self.markers[self.ue_specs[spec.ue_id].cell_id]
+
+    def _marker_summary(self) -> dict:
+        def one(marker) -> dict:
+            if hasattr(marker, "summary"):
+                return marker.summary()
+            return {"marked_packets": getattr(marker, "marked_packets", 0)}
+        summaries = [one(self.markers[c.cell_id]) for c in self.cell_specs]
+        if len(summaries) == 1:
+            return summaries[0]
+        # Multi-cell: sum the numeric counters across cells.
+        merged: dict = {}
+        for summary in summaries:
+            for key, value in summary.items():
+                if isinstance(value, (int, float)):
+                    merged[key] = merged.get(key, 0) + value
+                else:
+                    merged.setdefault(key, value)
+        return merged
+
     def run(self) -> ScenarioResult:
         """Run the simulation and collect results."""
         config = self.config
         events = self.sim.run(until=config.duration_s)
-        self.gnb.stop()
+        for gnb in self.gnbs.values():
+            gnb.stop()
         self.queue_sampler.stop()
         if self.rate_probe is not None:
             self.rate_probe.stop()
@@ -340,7 +332,6 @@ class BuiltScenario:
     def _collect(self, events: int) -> ScenarioResult:
         config = self.config
         flow_results: list[FlowResult] = []
-        measured = max(config.duration_s - config.warmup_s, 1e-9)
         for spec in self.flow_specs:
             sender = self.senders[spec.flow_id]
             owd_samples = self.owd.samples.get(spec.flow_id, [])
@@ -350,8 +341,9 @@ class BuiltScenario:
             goodput = self.throughput.average_rate(
                 spec.flow_id, duration=max(duration, 1e-9))
             marked_fraction = 0.0
-            if isinstance(self.marker, L4SpanLayer):
-                record = self.marker.flow_record(
+            marker = self._marker_for_flow(spec)
+            if isinstance(marker, L4SpanLayer):
+                record = marker.flow_record(
                     self.senders[spec.flow_id].five_tuple)
                 if record is not None:
                     marked_fraction = record.mark_fraction
@@ -370,17 +362,13 @@ class BuiltScenario:
             per_ue.setdefault(spec.ue_id, 0.0)
             per_ue[spec.ue_id] += self.throughput.total_bytes.get(
                 spec.flow_id, 0) / max(config.duration_s, 1e-9)
-        marker_summary = (self.marker.summary()
-                          if hasattr(self.marker, "summary") else
-                          {"marked_packets": getattr(self.marker,
-                                                     "marked_packets", 0)})
         return ScenarioResult(
             config=config,
             flows=flow_results,
             queue_length_samples=self.queue_sampler.all_length_samples(),
             queue_length_by_drb=dict(self.queue_sampler.length_samples),
             delay_breakdown=self.breakdown.averages(),
-            marker_summary=marker_summary,
+            marker_summary=self._marker_summary(),
             per_ue_throughput=per_ue,
             rate_estimation_errors=(self.rate_probe.errors_percent
                                     if self.rate_probe is not None else []),
@@ -399,7 +387,7 @@ class _SenderAdapter:
 
 
 class _UplinkAdapter:
-    """Routes uplink packets leaving the gNB into the core."""
+    """Routes uplink packets leaving a gNB into the shared core."""
 
     def __init__(self, core: FiveGCore) -> None:
         self._core = core
@@ -408,11 +396,16 @@ class _UplinkAdapter:
         self._core.receive_uplink(packet)
 
 
-def build_scenario(config: ScenarioConfig) -> BuiltScenario:
+def build_scenario(config: ScenarioSpec) -> BuiltScenario:
     """Construct (but do not run) a scenario."""
     return BuiltScenario(config)
 
 
-def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+def run_scenario(config: ScenarioSpec) -> ScenarioResult:
     """Build and run a scenario, returning its results."""
     return build_scenario(config).run()
+
+
+def run_scenario_dict(spec_dict: dict) -> ScenarioResult:
+    """Build and run a scenario from a plain spec dict (sweep-cell form)."""
+    return run_scenario(ScenarioSpec.from_dict(spec_dict))

@@ -1,0 +1,336 @@
+"""The declarative, serializable description of one scenario.
+
+:class:`ScenarioSpec` is the single source of truth for what a simulation
+run looks like: the radio cells sharing the 5G core, the UE population (with
+per-UE channel, SNR, RLC and cell-attachment overrides), the transport flows
+(with per-flow congestion control, schedule, transfer size and WAN RTT), the
+in-RAN marker and every tunable the experiment harnesses sweep.
+
+Three properties make it the currency of the whole experiment layer:
+
+* **Declarative.**  Heterogeneous topologies — a congested cell next to a
+  quiet one, pedestrian and vehicular UEs side by side, flows with distinct
+  WAN RTTs — are plain data, not bespoke builder code.
+* **Serializable.**  ``to_dict``/``from_dict`` (and the JSON wrappers) round
+  trip exactly, so a sweep cell is a picklable dict, a scenario is a JSON
+  file (``python -m repro scenario --spec file.json``) and presets are
+  one-liners.
+* **Validated.**  Component names are checked against the registries in
+  :mod:`repro.registry`, so a typo fails fast with the list of choices
+  instead of deep inside the build.
+
+The historical ``ScenarioConfig`` name is an alias of this class; every field
+it had keeps its exact default, which is why pre-spec experiment outputs are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.cc.factory import is_l4s_algorithm, is_udp_algorithm  # noqa: F401
+from repro.channel.profiles import make_channel  # noqa: F401  (registration)
+from repro.core.config import L4SpanConfig
+from repro.core.factory import make_marker  # noqa: F401  (registration)
+from repro.ran.cell import CellConfig
+from repro.ran.identifiers import DEFAULT_RLC_QUEUE_SDUS
+from repro.ran.mac import resolve_scheduler  # noqa: F401  (registration)
+from repro.ran.phy import AirInterfaceConfig
+from repro.registry import (CC_SENDERS, CHANNEL_PROFILES, MARKERS, SCHEDULERS,
+                            UnknownComponentError)
+from repro.units import ms
+from repro.workloads.flows import FlowSpec
+
+#: RLC modes understood by the RAN layer.
+RLC_MODES = ("am", "um")
+
+
+@dataclass
+class CellSpec:
+    """One gNB/cell of the scenario, sharing the single 5G core.
+
+    Attributes:
+        cell_id: identifier unique within the scenario; UEs attach by it.
+        scheduler: MAC policy name overriding the scenario default, or None.
+        radio: full radio configuration overriding the scenario default
+            (bandwidth, PRBs, TDD pattern, carrier), or None.
+        air: air-interface delay/HARQ configuration override, or None.
+    """
+
+    cell_id: int = 0
+    scheduler: Optional[str] = None
+    radio: Optional[CellConfig] = None
+    air: Optional[AirInterfaceConfig] = None
+
+
+@dataclass
+class UeSpec:
+    """Per-UE overrides; any field left None inherits the scenario default.
+
+    Attributes:
+        ue_id: identifier unique within the scenario.
+        cell_id: the cell this UE attaches to.
+        channel_profile / mean_snr_db: radio condition of this UE.
+        rlc_mode / rlc_queue_sdus / separate_drbs: bearer configuration.
+    """
+
+    ue_id: int
+    cell_id: int = 0
+    channel_profile: Optional[str] = None
+    mean_snr_db: Optional[float] = None
+    rlc_mode: Optional[str] = None
+    rlc_queue_sdus: Optional[int] = None
+    separate_drbs: Optional[bool] = None
+
+
+@dataclass
+class ScenarioSpec:
+    """Everything needed to describe one experiment run.
+
+    The defaults reproduce the paper's common setting: one ~40 Mbit/s n78
+    cell, 38 ms WAN RTT, RLC AM with the default 16384-SDU queue, round-robin
+    MAC scheduling and separate L4S/classic DRBs per UE.
+
+    Homogeneous scenarios only need the scalar fields (``num_ues``,
+    ``cc_name``, ``channel_profile``, ...).  Heterogeneous scenarios add
+    entries to ``cells`` / ``ues`` / ``flows``; anything not overridden there
+    inherits the scalar defaults.
+    """
+
+    num_ues: int = 1
+    duration_s: float = 5.0
+    cc_name: str = "prague"
+    marker: str = "l4span"          # "none", "l4span", "tcran", "ran_dualpi2"
+    l4span: Optional[bool] = None   # convenience alias: True -> "l4span", False -> "none"
+    channel_profile: str = "static"
+    wan_rtt: float = ms(38)
+    scheduler: str = "rr"
+    rlc_queue_sdus: int = DEFAULT_RLC_QUEUE_SDUS
+    rlc_mode: str = "am"
+    separate_drbs: bool = True
+    seed: int = 1
+    flows: Optional[list[FlowSpec]] = None
+    mean_snr_db: float = 22.0
+    cell: CellConfig = field(default_factory=CellConfig)
+    air: AirInterfaceConfig = field(default_factory=AirInterfaceConfig)
+    l4span_config: L4SpanConfig = field(default_factory=L4SpanConfig)
+    queue_sample_interval: float = 0.05
+    throughput_window: float = 0.25
+    rate_probe: bool = False
+    # Optional wired middlebox between the WAN and the 5G core whose rate can
+    # be throttled during the run (Fig. 2's bottleneck shift).
+    wired_bottleneck_mbps: Optional[float] = None
+    wired_bottleneck_schedule: list = field(default_factory=list)
+    warmup_s: float = 0.5
+    # Heterogeneous-topology extensions (empty = single default cell,
+    # homogeneous UE population).
+    name: str = ""
+    cells: list[CellSpec] = field(default_factory=list)
+    ues: list[UeSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Normalise the throttle schedule to tuples so a spec deserialized
+        # from JSON (where pairs become lists) compares equal to the original.
+        self.wired_bottleneck_schedule = [
+            tuple(entry) for entry in self.wired_bottleneck_schedule]
+
+    # ------------------------------------------------------------------ #
+    # Convenience views
+    # ------------------------------------------------------------------ #
+    def resolved_marker(self) -> str:
+        """Resolve the ``l4span`` boolean alias onto the marker name."""
+        if self.l4span is None:
+            return self.marker
+        return "l4span" if self.l4span else "none"
+
+    def label(self) -> str:
+        """Short human-readable description used in reports."""
+        if self.name:
+            return self.name
+        return (f"{self.cc_name}/{self.channel_profile}/{self.num_ues}ue/"
+                f"{self.resolved_marker()}")
+
+    # ------------------------------------------------------------------ #
+    # Resolution: fill every override with its scenario-level default
+    # ------------------------------------------------------------------ #
+    def resolved_cells(self) -> list[CellSpec]:
+        """The cell list with radio/air/scheduler defaults filled in."""
+        specs = self.cells if self.cells else [CellSpec(cell_id=0)]
+        resolved = []
+        seen: set[int] = set()
+        for spec in specs:
+            if spec.cell_id in seen:
+                raise ValueError(f"duplicate cell_id {spec.cell_id}")
+            seen.add(spec.cell_id)
+            resolved.append(CellSpec(
+                cell_id=spec.cell_id,
+                scheduler=spec.scheduler if spec.scheduler is not None
+                else self.scheduler,
+                radio=spec.radio if spec.radio is not None else self.cell,
+                air=spec.air if spec.air is not None else self.air))
+        return resolved
+
+    def _declared_ue_ids(self) -> list[int]:
+        ids = set(range(self.num_ues)) | {ue.ue_id for ue in self.ues}
+        return sorted(ids)
+
+    def resolved_flows(self) -> list[FlowSpec]:
+        """The flow list; defaults to one bulk download per declared UE."""
+        if self.flows is not None:
+            return list(self.flows)
+        return [FlowSpec(flow_id=index, ue_id=ue_id, cc_name=self.cc_name,
+                         label="bulk")
+                for index, ue_id in enumerate(self._declared_ue_ids())]
+
+    def resolved_ues(self) -> list[UeSpec]:
+        """Every UE of the scenario, overrides merged onto the defaults.
+
+        The population is the union of ``range(num_ues)``, the explicitly
+        declared UEs and every flow's terminating UE, sorted by id (the order
+        channels and random streams are created in).
+        """
+        overrides = {}
+        for ue in self.ues:
+            if ue.ue_id in overrides:
+                raise ValueError(f"duplicate ue_id {ue.ue_id}")
+            overrides[ue.ue_id] = ue
+        ids = set(self._declared_ue_ids())
+        ids.update(flow.ue_id for flow in self.resolved_flows())
+        resolved = []
+        for ue_id in sorted(ids):
+            ue = overrides.get(ue_id, UeSpec(ue_id=ue_id))
+            resolved.append(UeSpec(
+                ue_id=ue_id,
+                cell_id=ue.cell_id,
+                channel_profile=ue.channel_profile
+                if ue.channel_profile is not None else self.channel_profile,
+                mean_snr_db=ue.mean_snr_db
+                if ue.mean_snr_db is not None else self.mean_snr_db,
+                rlc_mode=ue.rlc_mode
+                if ue.rlc_mode is not None else self.rlc_mode,
+                rlc_queue_sdus=ue.rlc_queue_sdus
+                if ue.rlc_queue_sdus is not None else self.rlc_queue_sdus,
+                separate_drbs=ue.separate_drbs
+                if ue.separate_drbs is not None else self.separate_drbs))
+        return resolved
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def validate(self) -> "ScenarioSpec":
+        """Check every component name against its registry; return self.
+
+        Raises :class:`repro.registry.UnknownComponentError` for unknown
+        names and :class:`ValueError` for structural mistakes (duplicate
+        ids, dangling cell references).
+        """
+        MARKERS.resolve(self.resolved_marker() or "none")
+        cells = self.resolved_cells()
+        cell_ids = {cell.cell_id for cell in cells}
+        for cell in cells:
+            SCHEDULERS.resolve(cell.scheduler)
+        ues = self.resolved_ues()
+        for ue in ues:
+            CHANNEL_PROFILES.resolve(ue.channel_profile)
+            if ue.rlc_mode.lower() not in RLC_MODES:
+                raise ValueError(f"unknown rlc_mode {ue.rlc_mode!r} for "
+                                 f"ue {ue.ue_id}; choose from {RLC_MODES}")
+            if ue.cell_id not in cell_ids:
+                raise ValueError(
+                    f"ue {ue.ue_id} attaches to unknown cell "
+                    f"{ue.cell_id}; declared cells: {sorted(cell_ids)}")
+        flow_ids: set[int] = set()
+        for flow in self.resolved_flows():
+            CC_SENDERS.resolve(flow.cc_name)
+            if flow.flow_id in flow_ids:
+                raise ValueError(f"duplicate flow_id {flow.flow_id}")
+            flow_ids.add(flow.flow_id)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """A plain-data (JSON-compatible) representation of this spec."""
+        return dataclasses.asdict(self)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or hand-written data).
+
+        Unknown keys raise ``ValueError`` — a typo in a JSON spec fails
+        loudly instead of silently running the default scenario.
+        """
+        data = dict(data)
+        parsed: dict[str, Any] = {}
+        nested = {
+            "cell": CellConfig,
+            "air": AirInterfaceConfig,
+            "l4span_config": L4SpanConfig,
+        }
+        for key, nested_cls in nested.items():
+            if key in data and data[key] is not None:
+                parsed[key] = _dataclass_from_dict(nested_cls,
+                                                   data.pop(key), key)
+        if data.get("flows") is not None:
+            parsed["flows"] = [_dataclass_from_dict(FlowSpec, entry,
+                                                    "flows[]")
+                               for entry in data.pop("flows")]
+        if data.get("cells") is not None:
+            parsed["cells"] = [_cell_spec_from_dict(entry)
+                               for entry in data.pop("cells")]
+        if data.get("ues") is not None:
+            parsed["ues"] = [_dataclass_from_dict(UeSpec, entry, "ues[]")
+                             for entry in data.pop("ues")]
+        data.pop("cells", None)
+        data.pop("ues", None)
+        data.pop("flows", None)
+        return _dataclass_from_dict(cls, data, "scenario", extra=parsed)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Rebuild a spec from a JSON document."""
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("a scenario spec must be a JSON object")
+        return cls.from_dict(data)
+
+
+def _dataclass_from_dict(cls, data: Any, where: str,
+                         extra: Optional[dict] = None):
+    """Strictly construct dataclass ``cls`` from a plain dict."""
+    if not isinstance(data, dict):
+        raise ValueError(f"{where}: expected an object, got {type(data).__name__}")
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - names)
+    if unknown:
+        raise ValueError(f"{where}: unknown field(s) {unknown}; "
+                         f"valid fields: {sorted(names)}")
+    kwargs = dict(data)
+    if extra:
+        kwargs.update(extra)
+    return cls(**kwargs)
+
+
+def _cell_spec_from_dict(data: dict) -> CellSpec:
+    data = dict(data) if isinstance(data, dict) else data
+    extra = {}
+    if isinstance(data, dict):
+        if data.get("radio") is not None:
+            extra["radio"] = _dataclass_from_dict(CellConfig,
+                                                  data.pop("radio"),
+                                                  "cells[].radio")
+        if data.get("air") is not None:
+            extra["air"] = _dataclass_from_dict(AirInterfaceConfig,
+                                                data.pop("air"),
+                                                "cells[].air")
+        data.pop("radio", None)
+        data.pop("air", None)
+    return _dataclass_from_dict(CellSpec, data, "cells[]", extra=extra)

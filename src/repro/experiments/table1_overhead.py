@@ -18,7 +18,8 @@ from typing import Callable, Optional
 
 from repro.core.config import L4SpanConfig
 from repro.experiments.runner import SweepRunner
-from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.experiments.scenario import build_scenario
+from repro.experiments.spec import ScenarioSpec
 
 
 @dataclass
@@ -31,14 +32,9 @@ class OverheadConfig:
     seed: int = 59
 
 
-def _run_case(num_ues: int, marker: str, config: OverheadConfig) -> dict:
-    scenario = ScenarioConfig(
-        num_ues=num_ues, duration_s=config.duration_s,
-        cc_name=config.cc_name, marker=marker,
-        l4span_config=L4SpanConfig(measure_processing=True),
-        seed=config.seed)
+def _run_case(spec: ScenarioSpec) -> dict:
     tracemalloc.start()
-    built = build_scenario(scenario)
+    built = build_scenario(spec)
     start = time.perf_counter()
     result = built.run()
     wall = time.perf_counter() - start
@@ -48,7 +44,7 @@ def _run_case(num_ues: int, marker: str, config: OverheadConfig) -> dict:
     if hasattr(built.marker, "processing_times"):
         handler_time = sum(sum(v) for v in built.marker.processing_times.values())
     return {
-        "marker": marker, "ues": num_ues,
+        "marker": spec.marker, "ues": spec.num_ues,
         "wall_seconds": wall,
         "events": result.events_processed,
         "peak_memory_mb": peak_memory / 1e6,
@@ -58,9 +54,9 @@ def _run_case(num_ues: int, marker: str, config: OverheadConfig) -> dict:
 
 
 def _run_cell(cell: tuple) -> dict:
-    """Spawn-safe adapter: one (state, ues, marker, config) grid cell."""
-    state_name, num_ues, marker, config = cell
-    row = _run_case(num_ues, marker, config)
+    """Spawn-safe adapter: one (state, spec dict) grid cell."""
+    state_name, spec_dict = cell
+    row = _run_case(ScenarioSpec.from_dict(spec_dict))
     row["state"] = state_name
     return row
 
@@ -78,7 +74,12 @@ def run_table1(config: Optional[OverheadConfig] = None, workers: int = 1,
     use ``workers=1`` when the absolute overhead numbers matter.
     """
     config = config if config is not None else OverheadConfig()
-    cells = [(state_name, num_ues, marker, config)
+    cells = [(state_name,
+              ScenarioSpec(
+                  num_ues=num_ues, duration_s=config.duration_s,
+                  cc_name=config.cc_name, marker=marker,
+                  l4span_config=L4SpanConfig(measure_processing=True),
+                  seed=config.seed).to_dict())
              for state_name, num_ues in (("idle", 1), ("busy", config.busy_ues))
              for marker in ("none", "l4span")]
     if workers is not None:

@@ -129,11 +129,16 @@ class DelayBreakdownAccumulator:
 
 
 class QueueSampler:
-    """Periodically samples RLC queue lengths (in SDUs) and bytes per bearer."""
+    """Periodically samples RLC queue lengths (in SDUs) and bytes per bearer.
+
+    ``gnb`` may be a single gNB or a list of them (a multi-cell scenario);
+    bearer keys ("ueX/drbY") are unique across cells because UE ids are
+    scenario-global.
+    """
 
     def __init__(self, sim: Simulator, gnb, interval: float = 0.05) -> None:
         self._sim = sim
-        self._gnb = gnb
+        self._gnbs = list(gnb) if isinstance(gnb, (list, tuple)) else [gnb]
         self.interval = interval
         self.length_samples: dict[str, list[int]] = defaultdict(list)
         self.byte_samples: dict[str, list[int]] = defaultdict(list)
@@ -143,12 +148,13 @@ class QueueSampler:
 
     def _sample(self) -> None:
         self.times.append(self._sim.now)
-        report = self._gnb.du.queue_length_report()
-        for key, length in report.items():
-            name = str(key)
-            self.length_samples[name].append(length)
-            entity = self._gnb.du.rlc_entity(key.ue_id, key.drb_id)
-            self.byte_samples[name].append(entity.backlog_bytes)
+        for gnb in self._gnbs:
+            report = gnb.du.queue_length_report()
+            for key, length in report.items():
+                name = str(key)
+                self.length_samples[name].append(length)
+                entity = gnb.du.rlc_entity(key.ue_id, key.drb_id)
+                self.byte_samples[name].append(entity.backlog_bytes)
 
     def all_length_samples(self) -> list[int]:
         """Every queue-length sample across bearers."""

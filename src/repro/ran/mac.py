@@ -24,6 +24,7 @@ from typing import Callable, Optional
 from repro.channel.base import ChannelModel
 from repro.ran.cell import CellConfig
 from repro.ran.identifiers import UeId
+from repro.registry import SCHEDULERS
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
 
@@ -33,6 +34,17 @@ class SchedulerPolicy(enum.Enum):
 
     ROUND_ROBIN = "rr"
     PROPORTIONAL_FAIR = "pf"
+
+
+SCHEDULERS.add("rr", SchedulerPolicy.ROUND_ROBIN, "round_robin")
+SCHEDULERS.add("pf", SchedulerPolicy.PROPORTIONAL_FAIR, "proportional_fair")
+
+
+def resolve_scheduler(name) -> SchedulerPolicy:
+    """Map a policy name (or a policy member) onto :class:`SchedulerPolicy`."""
+    if isinstance(name, SchedulerPolicy):
+        return name
+    return SCHEDULERS.get(name)
 
 
 @dataclass

@@ -19,6 +19,7 @@ from typing import Protocol, runtime_checkable
 from repro.net.packet import Packet
 from repro.ran.f1u import DeliveryStatus
 from repro.ran.identifiers import DrbId, UeId
+from repro.registry import MARKERS
 
 
 @runtime_checkable
@@ -58,3 +59,9 @@ class NoopMarker:
 
     def on_uplink_packet(self, packet: Packet, now: float) -> None:
         self.uplink_packets += 1
+
+
+@MARKERS.register("none", "off", "baseline")
+def _build_noop_marker(sim, l4span_config=None) -> NoopMarker:
+    """The "no in-RAN marking" baseline (``sim``/config are unused)."""
+    return NoopMarker()

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.registry import WORKLOADS
+
 
 @dataclass
 class FlowSpec:
@@ -17,6 +19,9 @@ class FlowSpec:
         start_time / stop_time: when the sender starts and (optionally) stops.
         flow_bytes: finite transfer size, or None for a long-lived flow.
         label: free-form tag used by experiment reports ("llf", "slf", ...).
+        wan_rtt: per-flow wide-area RTT (seconds) overriding the scenario
+            default, or None to inherit it — distinct-RTT fairness scenarios
+            (Fig. 14b) give each flow its own value.
     """
 
     flow_id: int
@@ -26,8 +31,10 @@ class FlowSpec:
     stop_time: Optional[float] = None
     flow_bytes: Optional[int] = None
     label: str = ""
+    wan_rtt: Optional[float] = None
 
 
+@WORKLOADS.register("bulk")
 def bulk_download_flows(num_ues: int, cc_name: str,
                         start_time: float = 0.0) -> list[FlowSpec]:
     """One long-lived download per UE -- the Fig. 9 / Fig. 24 workload."""
@@ -36,6 +43,7 @@ def bulk_download_flows(num_ues: int, cc_name: str,
             for i in range(num_ues)]
 
 
+@WORKLOADS.register("mixed")
 def mixed_share_flows(cc_names: list[str],
                       staggered_start: float = 0.0,
                       stop_after: Optional[float] = None,

@@ -1,0 +1,366 @@
+"""Tests for the declarative spec layer: registries, serialization, presets,
+heterogeneous (multi-cell / per-UE / per-flow) scenarios and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.presets import make_preset, preset_names
+from repro.experiments.scenario import (ScenarioConfig, build_scenario,
+                                        run_scenario)
+from repro.experiments.spec import CellSpec, ScenarioSpec, UeSpec
+from repro.ran.cell import CellConfig
+from repro.registry import (CC_SENDERS, CHANNEL_PROFILES, MARKERS, Registry,
+                            SCENARIO_PRESETS, SCHEDULERS,
+                            UnknownComponentError)
+from repro.units import ms
+from repro.workloads.flows import FlowSpec
+
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+
+# --------------------------------------------------------------------------- #
+# Registry mechanics
+# --------------------------------------------------------------------------- #
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = Registry("widget")
+
+        @reg.register("foo", "foo_alias", shiny=True)
+        class Foo:
+            pass
+
+        assert reg.get("foo") is Foo
+        assert reg.get("FOO") is Foo
+        assert reg.get("foo_alias") is Foo
+        assert reg.flag("foo", "shiny") is True
+        assert reg.flag("foo", "missing") is False
+        assert reg.names() == ["foo"]
+        assert reg.names(include_aliases=True) == ["foo", "foo_alias"]
+        assert "foo" in reg and "bar" not in reg
+
+    def test_unknown_name_raises_with_choices(self):
+        reg = Registry("widget")
+        reg.add("foo", object())
+        with pytest.raises(UnknownComponentError) as exc_info:
+            reg.get("bar")
+        assert "widget" in str(exc_info.value)
+        assert "foo" in str(exc_info.value)
+        # Compatible with both historical factory error types.
+        with pytest.raises(KeyError):
+            reg.get("bar")
+        with pytest.raises(ValueError):
+            reg.get("bar")
+
+    def test_duplicate_registration_rejected(self):
+        reg = Registry("widget")
+        reg.add("foo", object(), "alias")
+        with pytest.raises(ValueError, match="duplicate"):
+            reg.add("foo", object())
+        with pytest.raises(ValueError, match="duplicate"):
+            reg.add("alias", object())
+
+    def test_names_where(self):
+        reg = Registry("widget")
+        reg.add("a", object(), fast=True)
+        reg.add("b", object())
+        assert reg.names_where("fast") == ["a"]
+
+
+class TestComponentRegistries:
+    def test_all_paper_components_registered(self):
+        for name in ("prague", "cubic", "reno", "bbr", "bbr2", "scream",
+                     "udp_prague"):
+            assert name in CC_SENDERS
+        for name in ("none", "l4span", "tcran", "ran_dualpi2",
+                     "ran_dualpi2_10ms"):
+            assert name in MARKERS
+        for name in ("static", "pedestrian", "vehicular", "mobile"):
+            assert name in CHANNEL_PROFILES
+        for name in ("rr", "pf", "round_robin", "proportional_fair"):
+            assert name in SCHEDULERS
+
+    def test_l4s_flags_match_paper(self):
+        assert set(CC_SENDERS.names_where("is_l4s")) == \
+            {"prague", "bbr2", "scream", "udp_prague"}
+        assert set(CC_SENDERS.names_where("is_udp")) == \
+            {"scream", "udp_prague"}
+
+    def test_buildable_markers_are_selectable(self):
+        # The CLI drift bug: ran_dualpi2_10ms was buildable but not offered.
+        from repro.core.factory import marker_names
+        assert "ran_dualpi2_10ms" in marker_names()
+
+
+# --------------------------------------------------------------------------- #
+# Spec serialization
+# --------------------------------------------------------------------------- #
+def heterogeneous_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="hetero", num_ues=0, duration_s=2.0, marker="l4span", seed=5,
+        wired_bottleneck_schedule=[(1.0, 30.0)],
+        cells=[CellSpec(cell_id=0),
+               CellSpec(cell_id=1, scheduler="pf",
+                        radio=CellConfig(bandwidth_mhz=10.0, num_prb=24))],
+        ues=[UeSpec(ue_id=0, cell_id=0, channel_profile="pedestrian"),
+             UeSpec(ue_id=1, cell_id=1, mean_snr_db=18.0,
+                    rlc_queue_sdus=256)],
+        flows=[FlowSpec(flow_id=0, ue_id=0, cc_name="prague",
+                        wan_rtt=ms(18), label="near"),
+               FlowSpec(flow_id=1, ue_id=1, cc_name="cubic",
+                        wan_rtt=ms(78), label="far")])
+
+
+class TestSpecSerialization:
+    def test_dict_round_trip_default(self):
+        spec = ScenarioSpec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_dict_round_trip_heterogeneous(self):
+        spec = heterogeneous_spec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = heterogeneous_spec()
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+        # And the JSON is plain data (no repr()-ed objects).
+        json.loads(spec.to_json())
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            ScenarioSpec.from_dict({"num_uess": 3})
+        with pytest.raises(ValueError, match="flows"):
+            ScenarioSpec.from_dict({"flows": [{"flow_id": 0, "ue_id": 0,
+                                               "cc_name": "prague",
+                                               "bogus": 1}]})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec.from_json("[1, 2, 3]")
+
+    def test_scenario_config_is_spec_alias(self):
+        assert ScenarioConfig is ScenarioSpec
+
+
+class TestSpecValidation:
+    def test_unknown_cc_rejected(self):
+        with pytest.raises(UnknownComponentError, match="congestion"):
+            ScenarioSpec(cc_name="vegas").validate()
+
+    def test_unknown_marker_rejected(self):
+        with pytest.raises(UnknownComponentError, match="marker"):
+            ScenarioSpec(marker="magic").validate()
+
+    def test_unknown_channel_rejected(self):
+        with pytest.raises(UnknownComponentError, match="channel"):
+            ScenarioSpec(channel_profile="underwater").validate()
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(UnknownComponentError, match="scheduler"):
+            ScenarioSpec(scheduler="wfq").validate()
+
+    def test_dangling_cell_reference_rejected(self):
+        with pytest.raises(ValueError, match="unknown cell"):
+            ScenarioSpec(ues=[UeSpec(ue_id=0, cell_id=7)]).validate()
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate cell_id"):
+            ScenarioSpec(cells=[CellSpec(0), CellSpec(0)]).validate()
+        with pytest.raises(ValueError, match="duplicate ue_id"):
+            ScenarioSpec(ues=[UeSpec(ue_id=1), UeSpec(ue_id=1)]).validate()
+        flows = [FlowSpec(flow_id=0, ue_id=0, cc_name="prague"),
+                 FlowSpec(flow_id=0, ue_id=1, cc_name="prague")]
+        with pytest.raises(ValueError, match="duplicate flow_id"):
+            ScenarioSpec(flows=flows).validate()
+
+    def test_resolution_fills_defaults(self):
+        spec = ScenarioSpec(num_ues=2, channel_profile="pedestrian",
+                            ues=[UeSpec(ue_id=1, channel_profile="static")])
+        resolved = {ue.ue_id: ue for ue in spec.resolved_ues()}
+        assert resolved[0].channel_profile == "pedestrian"
+        assert resolved[1].channel_profile == "static"
+        flows = spec.resolved_flows()
+        assert [f.ue_id for f in flows] == [0, 1]
+
+
+# --------------------------------------------------------------------------- #
+# Presets
+# --------------------------------------------------------------------------- #
+class TestPresets:
+    def test_all_presets_validate(self):
+        assert len(preset_names()) >= 4
+        for name in preset_names():
+            spec = make_preset(name)
+            assert isinstance(spec, ScenarioSpec)
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(UnknownComponentError, match="preset"):
+            SCENARIO_PRESETS.get("no-such-preset")
+
+
+# --------------------------------------------------------------------------- #
+# Heterogeneous scenarios end to end
+# --------------------------------------------------------------------------- #
+class TestHeterogeneousScenarios:
+    def test_two_cell_scenario_runs_and_isolates(self):
+        spec = ScenarioSpec(
+            num_ues=0, duration_s=2.5, marker="l4span", seed=9,
+            cells=[CellSpec(cell_id=0), CellSpec(cell_id=1)],
+            ues=[UeSpec(ue_id=0, cell_id=0),
+                 UeSpec(ue_id=1, cell_id=0),
+                 UeSpec(ue_id=2, cell_id=1)])
+        built = build_scenario(spec)
+        assert set(built.gnbs) == {0, 1}
+        assert built.gnbs[0].ue_ids == [0, 1]
+        assert built.gnbs[1].ue_ids == [2]
+        assert built.gnbs[0] is not built.gnbs[1]
+        assert built.markers[0] is not built.markers[1]
+        result = built.run()
+        # Every UE (on both cells) carried traffic.
+        assert set(result.per_ue_throughput) == {0, 1, 2}
+        assert all(v > 0 for v in result.per_ue_throughput.values())
+        # The queue sampler saw bearers of both cells.
+        ues_sampled = {key.split("/")[0]
+                       for key in result.queue_length_by_drb}
+        assert {"ue0", "ue1", "ue2"} <= ues_sampled
+        # A lone UE on its own cell outruns the two UEs sharing cell 0.
+        assert result.per_ue_throughput[2] > result.per_ue_throughput[0]
+
+    def test_quiet_cell_unaffected_by_congested_neighbour(self):
+        lone = run_scenario(ScenarioSpec(num_ues=1, duration_s=2.0, seed=4))
+        shared_core = run_scenario(ScenarioSpec(
+            num_ues=0, duration_s=2.0, seed=4,
+            cells=[CellSpec(cell_id=0), CellSpec(cell_id=1)],
+            ues=[UeSpec(ue_id=0, cell_id=0),
+                 UeSpec(ue_id=1, cell_id=1),
+                 UeSpec(ue_id=2, cell_id=1),
+                 UeSpec(ue_id=3, cell_id=1)]))
+        # UE 0 has cell 0 to itself: its goodput should be near the lone run
+        # despite three busy neighbours behind the same 5G core.
+        lone_mbps = lone.flow(0).goodput_mbps
+        assert shared_core.flow(0).goodput_mbps > 0.8 * lone_mbps
+
+    def test_per_flow_wan_rtt(self):
+        spec = ScenarioSpec(
+            num_ues=2, duration_s=2.0, seed=6,
+            flows=[FlowSpec(flow_id=0, ue_id=0, cc_name="prague",
+                            wan_rtt=ms(18)),
+                   FlowSpec(flow_id=1, ue_id=1, cc_name="prague",
+                            wan_rtt=ms(98))])
+        result = run_scenario(spec)
+        near = min(result.flow(0).rtt_samples)
+        far = min(result.flow(1).rtt_samples)
+        # The far flow's floor includes the extra 80 ms of WAN RTT.
+        assert far - near > ms(60)
+
+    def test_mixed_channel_population(self):
+        spec = ScenarioSpec(
+            num_ues=2, duration_s=1.5, seed=8,
+            ues=[UeSpec(ue_id=0, channel_profile="static"),
+                 UeSpec(ue_id=1, channel_profile="vehicular",
+                        mean_snr_db=12.0)])
+        built = build_scenario(spec)
+        assert built.ues[0].config.channel_profile == "static"
+        assert built.ues[1].config.channel_profile == "vehicular"
+        result = built.run()
+        assert result.per_ue_throughput[0] > result.per_ue_throughput[1]
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 14 panel (b): per-flow RTTs actually reach the flows
+# --------------------------------------------------------------------------- #
+class TestFig14DistinctRtt:
+    def test_panel_flows_carry_rtts(self):
+        from repro.experiments.fig14_fairness import (FairnessConfig,
+                                                      _panel_flows)
+        config = FairnessConfig()
+        flows = _panel_flows(["prague"] * 3, config,
+                             rtts=[ms(18), ms(38), ms(78)])
+        assert [f.wan_rtt for f in flows] == [ms(18), ms(38), ms(78)]
+        equal = _panel_flows(["prague"] * 3, config)
+        assert all(f.wan_rtt is None for f in equal)
+
+
+# --------------------------------------------------------------------------- #
+# Parallel sweeps over spec dicts stay identical to sequential
+# --------------------------------------------------------------------------- #
+class TestSpecSweepDeterminism:
+    def test_threshold_sweep_identical_across_worker_counts(self):
+        from repro.experiments.fig19_threshold import (ThresholdSweepConfig,
+                                                       run_fig19)
+        config = ThresholdSweepConfig(thresholds_ms=(1.0, 10.0),
+                                      duration_s=1.0)
+        sequential = run_fig19(config, workers=1)
+        parallel = run_fig19(config, workers=2)
+        assert json.dumps(sequential, sort_keys=True) == \
+            json.dumps(parallel, sort_keys=True)
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+class TestCli:
+    def test_scenario_json_output(self, capsys):
+        from repro.__main__ import main
+        assert main(["scenario", "--ues", "1", "--duration", "1.0",
+                     "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["total_goodput_mbps"] > 0
+
+    def test_dump_spec_round_trips_through_spec_file(self, capsys, tmp_path):
+        from repro.__main__ import main
+        assert main(["scenario", "--preset", "two-cell-imbalance",
+                     "--duration", "1.0", "--dump-spec"]) == 0
+        dumped = capsys.readouterr().out
+        spec_file = tmp_path / "scenario.json"
+        spec_file.write_text(dumped)
+        assert main(["scenario", "--spec", str(spec_file), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["label"] == "two-cell-imbalance"
+        assert summary["total_goodput_mbps"] > 0
+
+    def test_spec_and_preset_mutually_exclusive(self, tmp_path):
+        from repro.__main__ import main
+        spec_file = tmp_path / "scenario.json"
+        spec_file.write_text(ScenarioSpec().to_json())
+        with pytest.raises(SystemExit):
+            main(["scenario", "--spec", str(spec_file),
+                  "--preset", "mixed-cc"])
+
+    def test_cli_choices_come_from_registries(self):
+        # ran_dualpi2_10ms used to be buildable but not selectable.
+        from repro.__main__ import main
+        with pytest.raises(SystemExit):
+            main(["scenario", "--marker", "not-a-marker"])
+        assert main(["scenario", "--marker", "ran_dualpi2_10ms", "--ues", "1",
+                     "--duration", "0.5", "--json"]) == 0
+
+    def test_cli_accepts_registered_aliases(self, capsys):
+        # Aliases (bbrv2, off, round_robin) are valid registry names and
+        # must stay valid CLI choices.
+        from repro.__main__ import main
+        assert main(["scenario", "--cc", "bbrv2", "--marker", "off",
+                     "--scheduler", "round_robin", "--ues", "1",
+                     "--duration", "0.5", "--json"]) == 0
+        json.loads(capsys.readouterr().out)
+
+    def test_cc_override_applies_to_explicit_preset_flows(self, capsys):
+        from repro.__main__ import main
+        assert main(["scenario", "--preset", "mixed-cc", "--cc", "reno",
+                     "--dump-spec"]) == 0
+        spec = ScenarioSpec.from_json(capsys.readouterr().out)
+        assert {flow.cc_name for flow in spec.flows} == {"reno"}
+
+    def test_marker_override_beats_spec_l4span_alias(self, capsys, tmp_path):
+        from repro.__main__ import main
+        spec_file = tmp_path / "scenario.json"
+        data = ScenarioSpec(l4span=True).to_dict()
+        spec_file.write_text(json.dumps(data))
+        assert main(["scenario", "--spec", str(spec_file),
+                     "--marker", "tcran", "--dump-spec"]) == 0
+        spec = ScenarioSpec.from_json(capsys.readouterr().out)
+        assert spec.resolved_marker() == "tcran"

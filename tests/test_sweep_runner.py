@@ -126,4 +126,16 @@ class TestSweepDeterminism:
         cells = sweep_cells(MINI_SWEEP)
         results = run_fig9(MINI_SWEEP, workers=4)
         assert [(r.cc_name, r.channel, r.marker) for r in results] == \
-            [(c[0], c[1], c[5]) for c in cells]
+            [(c["cc_name"], c["channel_profile"], c["marker"])
+             for c in cells]
+
+    def test_fig9_cells_are_picklable_spec_dicts(self):
+        import pickle
+
+        from repro.experiments.spec import ScenarioSpec
+
+        cells = sweep_cells(MINI_SWEEP)
+        for cell in cells:
+            assert isinstance(cell, dict)
+            restored = ScenarioSpec.from_dict(pickle.loads(pickle.dumps(cell)))
+            assert restored.to_dict() == cell
