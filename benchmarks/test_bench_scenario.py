@@ -1,0 +1,80 @@
+"""End-to-end scenario benchmarks with a per-subsystem time breakdown.
+
+The engine microbenchmarks (``test_bench_engine.py``) isolate raw heap and
+callback churn; these benchmarks time a *whole* 5G scenario -- CC senders,
+WAN pipes, the CU/DU/RLC/MAC chain, the channel models and the L4Span layer
+-- so the BENCH_*.json trajectory carries end-to-end events/sec numbers, not
+just engine churn.  Each record also attaches a per-subsystem breakdown
+(``subsystem_seconds``: profiler self-time grouped by ``repro`` subpackage),
+which is what pointed PR 3 at the CC callback chain and the RLC bookkeeping.
+
+Run via ``scripts/bench_smoke.sh`` (included in the default smoke target).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+
+from benchmarks.conftest import attach_rows, scaled_duration
+from repro.experiments.scenario import ScenarioConfig, run_scenario
+
+
+def _prague_config(duration: float) -> ScenarioConfig:
+    """The ROADMAP perf-baseline scenario: 2 Prague UEs, fading channel."""
+    return ScenarioConfig(duration_s=duration, seed=7, num_ues=2,
+                          cc_name="prague", channel_profile="pedestrian")
+
+
+def _mixed_config(duration: float) -> ScenarioConfig:
+    """A classic-CC contrast point on a static channel."""
+    return ScenarioConfig(duration_s=duration, seed=3, num_ues=2,
+                          cc_name="cubic", channel_profile="static")
+
+
+def _subsystem_breakdown(config: ScenarioConfig) -> dict[str, float]:
+    """Profile one run and group profiler self-time by repro subpackage."""
+    profile = cProfile.Profile()
+    profile.enable()
+    run_scenario(config)
+    profile.disable()
+    totals: dict[str, float] = {}
+    for (filename, _line, _name), entry in pstats.Stats(profile).stats.items():
+        tottime = entry[2]
+        index = filename.find("/repro/")
+        if index >= 0:
+            remainder = filename[index + len("/repro/"):]
+            subsystem = remainder.split("/", 1)[0].removesuffix(".py")
+        else:
+            subsystem = "other"
+        totals[subsystem] = totals.get(subsystem, 0.0) + tottime
+    return dict(sorted(totals.items(), key=lambda item: -item[1]))
+
+
+def _bench_scenario(benchmark, config_factory, duration: float) -> None:
+    result = benchmark.pedantic(
+        lambda: run_scenario(config_factory(duration)), rounds=1, iterations=1)
+    events_per_sec = result.events_processed / benchmark.stats.stats.min
+    attach_rows(
+        benchmark, [result.summary()],
+        events=result.events_processed,
+        events_per_sec_best=events_per_sec,
+        subsystem_seconds=_subsystem_breakdown(config_factory(duration)))
+    assert result.events_processed > 0
+    assert result.total_goodput_mbps() > 0
+
+
+def test_scenario_2ue_prague_pedestrian(benchmark):
+    _bench_scenario(benchmark, _prague_config, scaled_duration(10.0))
+
+
+def test_scenario_2ue_cubic_static(benchmark):
+    _bench_scenario(benchmark, _mixed_config, scaled_duration(6.0))
+
+
+def test_scenario_events_deterministic():
+    """The same spec processes the identical event count on repeat runs."""
+    first = run_scenario(_prague_config(2.0))
+    second = run_scenario(_prague_config(2.0))
+    assert first.events_processed == second.events_processed
+    assert first.summary() == second.summary()

@@ -3,7 +3,7 @@
 # accumulate a comparable JSON trajectory under .benchmarks/.
 #
 # Usage:
-#   scripts/bench_smoke.sh                 # engine microbenchmarks only (fast)
+#   scripts/bench_smoke.sh                 # engine + end-to-end scenario (fast)
 #   scripts/bench_smoke.sh --full          # every figure/table benchmark
 #   REPRO_BENCH_SCALE=2 scripts/bench_smoke.sh --full   # longer runs
 #
@@ -14,14 +14,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-TARGET="benchmarks/test_bench_engine.py"
+TARGET=(benchmarks/test_bench_engine.py benchmarks/test_bench_scenario.py)
 if [[ "${1:-}" == "--full" ]]; then
-    TARGET="benchmarks"
+    TARGET=(benchmarks)
     shift
 fi
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
-exec python -m pytest "$TARGET" -q \
+exec python -m pytest "${TARGET[@]}" -q \
     --benchmark-autosave \
     --benchmark-storage=.benchmarks \
     --benchmark-columns=min,mean,stddev,rounds \

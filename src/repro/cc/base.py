@@ -20,6 +20,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.metrics.collectors import SampleReservoir
 from repro.net.addresses import FiveTuple
 from repro.net.base import PacketSink
 from repro.net.ecn import ECN
@@ -28,10 +29,23 @@ from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.units import ms
 
+#: Reservoir capacities for the per-flow sample streams.  RTT samples feed
+#: experiment medians/boxes, so their cap is generous enough that every
+#: CI-scale run stays below it (bit-identical to unbounded); cwnd/rate traces
+#: are debugging aids and get a tighter bound.  One sample arrives per ACK,
+#: so an unbounded list grows without limit in long-lived runs.
+RTT_SAMPLE_CAP = 1 << 18
+TRACE_SAMPLE_CAP = 1 << 16
+
 
 @dataclass
 class FlowStats:
-    """Counters and samples accumulated by a sender over its lifetime."""
+    """Counters and samples accumulated by a sender over its lifetime.
+
+    The sample streams are :class:`~repro.metrics.collectors.SampleReservoir`
+    lists: bounded, uniformly representative, and exactly equal to the raw
+    stream until their capacity is reached.
+    """
 
     sent_packets: int = 0
     sent_bytes: int = 0
@@ -43,9 +57,12 @@ class FlowStats:
     timeouts: int = 0
     start_time: float = 0.0
     completion_time: Optional[float] = None
-    rtt_samples: list[float] = field(default_factory=list)
-    cwnd_samples: list[tuple[float, float]] = field(default_factory=list)
-    rate_samples: list[tuple[float, float]] = field(default_factory=list)
+    rtt_samples: list[float] = field(
+        default_factory=lambda: SampleReservoir(RTT_SAMPLE_CAP))
+    cwnd_samples: list[tuple[float, float]] = field(
+        default_factory=lambda: SampleReservoir(TRACE_SAMPLE_CAP))
+    rate_samples: list[tuple[float, float]] = field(
+        default_factory=lambda: SampleReservoir(TRACE_SAMPLE_CAP))
 
     @property
     def mean_rtt(self) -> Optional[float]:
@@ -80,6 +97,12 @@ class Sender(abc.ABC):
     uses_accecn: bool = False
     #: Human-readable algorithm name (overridden by subclasses).
     name: str = "base"
+
+    # Senders sit on the per-ACK hot path; slots keep their core state out
+    # of instance dicts.  Algorithm subclasses stay dict-backed (their extra
+    # state is small and tests monkeypatch methods on instances).
+    __slots__ = ("_sim", "flow_id", "five_tuple", "path", "mss", "flow_bytes",
+                 "stats", "running")
 
     def __init__(self, sim: Simulator, flow_id: int, five_tuple: FiveTuple,
                  path: PacketSink, mss: int = DEFAULT_MSS,
@@ -128,6 +151,15 @@ class WindowSender(Sender):
     ENABLE_HYSTART = False
     HYSTART_MIN_DELAY_INCREASE = 0.004
 
+    __slots__ = ("cwnd", "ssthresh", "snd_una", "snd_nxt", "srtt", "rttvar",
+                 "rto", "_dupacks", "_last_ack_seq", "_rto_event",
+                 "_rto_deadline", "_rto_event_time", "_cwr_pending",
+                 "_ce_in_round",
+                 "_round_end_seq", "_last_accecn_ce_bytes",
+                 "_last_accecn_ce_packets", "_recovery_until",
+                 "_in_fast_recovery", "_pacing_timer", "_next_send_time",
+                 "_min_rtt_seen", "_round_min_rtt")
+
     def __init__(self, sim: Simulator, flow_id: int, five_tuple: FiveTuple,
                  path: PacketSink, mss: int = DEFAULT_MSS,
                  flow_bytes: Optional[int] = None) -> None:
@@ -142,6 +174,8 @@ class WindowSender(Sender):
         self._dupacks = 0
         self._last_ack_seq = -1
         self._rto_event: Optional[Event] = None
+        self._rto_deadline: Optional[float] = None
+        self._rto_event_time = 0.0
         self._cwr_pending = False
         self._ce_in_round = False
         self._round_end_seq = 0
@@ -166,6 +200,7 @@ class WindowSender(Sender):
 
     def stop(self) -> None:
         super().stop()
+        self._rto_deadline = None
         if self._rto_event is not None:
             self._rto_event.cancel()
             self._rto_event = None
@@ -204,12 +239,6 @@ class WindowSender(Sender):
         gain = 2.0 if self.cwnd < self.ssthresh else 1.2
         return gain * self.cwnd / self.srtt
 
-    def _can_send_now(self) -> bool:
-        remaining = self._bytes_remaining()
-        if remaining is not None and remaining <= 0:
-            return False
-        return self.inflight + self.mss <= self._window_limit()
-
     def _try_send(self) -> None:
         if not self.running or self._pacing_timer is not None:
             return
@@ -220,21 +249,35 @@ class WindowSender(Sender):
         if not self.running:
             return
         now = self._sim.now
-        while self._can_send_now():
+        mss = self.mss
+        flow_bytes = self.flow_bytes
+        sent = False
+        while True:
+            if flow_bytes is not None and flow_bytes - self.snd_nxt <= 0:
+                break
+            if self.snd_nxt - self.snd_una + mss > self._window_limit():
+                break
             rate = self._pacing_rate()
             if rate is not None and rate > 0 and self._next_send_time > now + 1e-9:
                 self._pacing_timer = self._sim.schedule(
                     self._next_send_time - now, self._send_loop)
-                return
-            remaining = self._bytes_remaining()
-            payload = self.mss
-            if remaining is not None:
-                payload = min(payload, remaining)
+                break
+            payload = mss
+            if flow_bytes is not None:
+                remaining = flow_bytes - self.snd_nxt
+                if remaining < payload:
+                    payload = remaining
             self._send_segment(self.snd_nxt, payload)
             self.snd_nxt += payload
+            sent = True
             if rate is not None and rate > 0:
                 self._next_send_time = max(self._next_send_time, now) \
                     + payload / rate
+        if sent and self._rto_deadline is None:
+            # A pacing-deferred burst fired after the pipe was empty (no
+            # deadline was armed when the ACK drained it): the new in-flight
+            # data must still be covered by a retransmission timer.
+            self._arm_rto()
 
     def _send_segment(self, seq: int, payload: int,
                       retransmission: bool = False) -> None:
@@ -254,48 +297,64 @@ class WindowSender(Sender):
     # ACK processing
     # ------------------------------------------------------------------ #
     def receive(self, packet: Packet) -> None:
+        """Per-ACK processing shared by every windowed algorithm.
+
+        This runs once per delivered data packet -- the single hottest
+        congestion-control callback -- so the feedback extraction is inlined
+        and the RTO timer is refreshed lazily (deadline bump, no per-ACK
+        event churn) instead of cancel+reschedule.
+        """
         if not packet.is_ack or not self.running:
             return
         now = self._sim.now
-        rtt_sample = None
-        if "data_sent_time" in packet.payload_info:
-            rtt_sample = now - packet.payload_info["data_sent_time"]
-            self._record_rtt(rtt_sample)
+        stats = self.stats
+        rtt_sample = packet.payload_info.get("data_sent_time")
+        if rtt_sample is not None:
+            rtt_sample = now - rtt_sample
+            if rtt_sample > 0:
+                stats.rtt_samples.append(rtt_sample)
             self._update_rto(rtt_sample)
             self._hystart_check(rtt_sample)
-        newly_acked = max(0, packet.ack_seq - self.snd_una)
+        ack_seq = packet.ack_seq
+        newly_acked = ack_seq - self.snd_una
         ce_bytes_delta, ce_seen = self._extract_ecn_feedback(packet)
         if newly_acked > 0:
-            self.snd_una = packet.ack_seq
-            self.stats.acked_bytes += newly_acked
+            self.snd_una = ack_seq
+            stats.acked_bytes += newly_acked
             self._dupacks = 0
-            if self._in_fast_recovery and self.snd_una >= self._recovery_until:
+            if self._in_fast_recovery and ack_seq >= self._recovery_until:
                 self._in_fast_recovery = False
         else:
+            newly_acked = 0
             self._count_dupack(packet)
         if ce_seen:
             self._ce_in_round = True
-            self.stats.ce_feedback_bytes += max(ce_bytes_delta, 0)
+            if ce_bytes_delta > 0:
+                stats.ce_feedback_bytes += ce_bytes_delta
         self.on_ack(newly_acked, ce_bytes_delta, ce_seen, rtt_sample)
         if self.snd_una >= self._round_end_seq:
             self._hystart_round_check()
             self.on_round_end()
             self._ce_in_round = False
             self._round_end_seq = self.snd_nxt
-        self.stats.cwnd_samples.append((now, self.cwnd))
+        stats.cwnd_samples.append((now, self.cwnd))
         self._check_completion()
-        self._arm_rto()
+        # Send before arming: if this ACK emptied the pipe, the deadline must
+        # cover the burst _try_send is about to transmit, not be cleared for
+        # an idle window (which would leave lost fresh data with no timer).
         self._try_send()
+        self._arm_rto()
 
     def _extract_ecn_feedback(self, packet: Packet) -> tuple[int, bool]:
         """Return (newly CE-marked bytes, any congestion signal seen)."""
         if self.uses_accecn and packet.accecn is not None:
-            delta_bytes = packet.accecn.ce_bytes - self._last_accecn_ce_bytes
-            delta_packets = packet.accecn.ce_packets - self._last_accecn_ce_packets
-            self._last_accecn_ce_bytes = max(self._last_accecn_ce_bytes,
-                                             packet.accecn.ce_bytes)
-            self._last_accecn_ce_packets = max(self._last_accecn_ce_packets,
-                                               packet.accecn.ce_packets)
+            accecn = packet.accecn
+            delta_bytes = accecn.ce_bytes - self._last_accecn_ce_bytes
+            delta_packets = accecn.ce_packets - self._last_accecn_ce_packets
+            if delta_bytes > 0:
+                self._last_accecn_ce_bytes = accecn.ce_bytes
+            if delta_packets > 0:
+                self._last_accecn_ce_packets = accecn.ce_packets
             return max(0, delta_bytes), delta_packets > 0 or delta_bytes > 0
         if packet.ece:
             return self.mss, True
@@ -359,13 +418,46 @@ class WindowSender(Sender):
         self.rto = max(ms(200), self.srtt + 4 * self.rttvar)
 
     def _arm_rto(self) -> None:
-        if self._rto_event is not None:
-            self._rto_event.cancel()
-            self._rto_event = None
+        """Refresh the retransmission deadline.
+
+        Called on every ACK, so in the common case it must not touch the
+        event heap: the deadline is just a float, and a single standing timer
+        event checks it when it fires, rescheduling itself if ACKs have
+        pushed the deadline out in the meantime (the classic lazy-timer
+        pattern).  Only when the deadline moves *earlier* than the standing
+        event's horizon (the RTO estimate shrank, e.g. the first real RTT
+        sample or recovery after exponential backoff) is the event
+        rescheduled, so the timeout always fires at the true deadline.
+        """
         if not self.running or self.inflight <= 0:
+            self._rto_deadline = None
             return
-        self._rto_event = self._sim.schedule(max(self.rto, ms(200)),
-                                             self._on_rto)
+        rto = self.rto
+        if rto < 0.2:
+            rto = 0.2
+        deadline = self._sim.now + rto
+        self._rto_deadline = deadline
+        if self._rto_event is None:
+            self._rto_event = self._sim.schedule(rto, self._rto_timer)
+            self._rto_event_time = deadline
+        elif deadline < self._rto_event_time:
+            self._rto_event.cancel()
+            self._rto_event = self._sim.schedule(rto, self._rto_timer)
+            self._rto_event_time = deadline
+
+    def _rto_timer(self) -> None:
+        self._rto_event = None
+        deadline = self._rto_deadline
+        if deadline is None or not self.running or self.inflight <= 0:
+            return
+        now = self._sim.now
+        if now < deadline:
+            # ACKs moved the deadline since this event was scheduled.
+            self._rto_event = self._sim.schedule(deadline - now,
+                                                 self._rto_timer)
+            self._rto_event_time = deadline
+            return
+        self._on_rto()
 
     def _on_rto(self) -> None:
         if not self.running or self.inflight <= 0:
@@ -394,6 +486,7 @@ class WindowSender(Sender):
                 and self.snd_una >= self.flow_bytes):
             self.stats.completion_time = self._sim.now
             self.running = False
+            self._rto_deadline = None
             if self._rto_event is not None:
                 self._rto_event.cancel()
                 self._rto_event = None
@@ -424,6 +517,9 @@ class WindowSender(Sender):
 
 class RateSender(Sender):
     """Paced sender transmitting at an explicit rate (bytes per second)."""
+
+    __slots__ = ("rate", "min_rate", "max_rate", "protocol", "next_seq",
+                 "_send_event")
 
     def __init__(self, sim: Simulator, flow_id: int, five_tuple: FiveTuple,
                  path: PacketSink, mss: int = DEFAULT_MSS,

@@ -15,7 +15,18 @@ pedestrian speeds.  (The paper adopts the larger *measured* coherence time of
 
 Occasional deep fades -- the "channel sharply turns bad" moments in the
 paper's running example (Fig. 4) -- are modelled by an optional shadowing
-process that knocks the SNR down for a random holding time.
+process that knocks the SNR down for a random holding time.  Fade arrivals
+over an advance of ``dt`` use the exact Poisson arrival probability
+``1 - exp(-rate * dt)``, not the first-order ``rate * dt`` truncation, which
+under-triggers fades for UEs whose channel is sampled sparsely (large ``dt``).
+
+Hot-path note: the MAC scheduler samples every backlogged UE's channel once
+per slot (2 kHz), so the innovations and fade decisions are pre-generated in
+vectorized blocks -- one ``standard_normal(n)`` / ``random(n)`` call per
+block, covering many coherence windows -- instead of one scalar numpy call
+per ``sample()``.  The variates consumed are drawn from the same per-UE
+stream; only their interleaving differs from the scalar implementation, so
+drift is confined to the channel stream.
 """
 
 from __future__ import annotations
@@ -25,8 +36,14 @@ import math
 import numpy as np
 
 from repro.channel.base import ChannelModel, ChannelSample
+from repro.channel.mcs import efficiency_from_snr, mcs_from_snr_array
 
 SPEED_OF_LIGHT_M_S = 299_792_458.0
+
+#: Variates pre-generated per vectorized draw.  At one channel update per
+#: 0.5 ms MAC slot a block covers ~128 ms of simulated time -- several
+#: coherence windows even for a pedestrian UE.
+_DRAW_BLOCK = 256
 
 
 def doppler_spread(speed_kmh: float, carrier_ghz: float) -> float:
@@ -75,32 +92,63 @@ class FadingChannel(ChannelModel):
         self._last_time = 0.0
         self._state_db = mean_snr_db
         self._fade_until = -1.0
-        self._next_fade_check = 0.0
+        # Pre-generated variate blocks (refilled with one vectorized call).
+        self._normals: list[float] = []
+        self._normal_index = 0
+        self._uniforms: list[float] = []
+        self._uniform_index = 0
+
+    # ------------------------------------------------------------------ #
+    # Batched variate supply
+    # ------------------------------------------------------------------ #
+    def _next_normal(self) -> float:
+        index = self._normal_index
+        if index >= len(self._normals):
+            # tolist() converts once to machine floats so the AR(1) update
+            # below runs on Python floats, not numpy scalars.
+            self._normals = self._rng.standard_normal(_DRAW_BLOCK).tolist()
+            index = 0
+        self._normal_index = index + 1
+        return self._normals[index]
+
+    def _next_uniform(self) -> float:
+        index = self._uniform_index
+        if index >= len(self._uniforms):
+            self._uniforms = self._rng.random(_DRAW_BLOCK).tolist()
+            index = 0
+        self._uniform_index = index + 1
+        return self._uniforms[index]
 
     # ------------------------------------------------------------------ #
     def _advance(self, now: float) -> None:
         dt = now - self._last_time
         if dt <= 0:
             return
-        if math.isfinite(self.coherence_time) and self.coherence_time > 0:
-            rho = math.exp(-dt / self.coherence_time)
+        coherence = self.coherence_time
+        if coherence > 0 and math.isfinite(coherence):
+            rho = math.exp(-dt / coherence)
         else:
             rho = 1.0
         innovation = math.sqrt(max(0.0, 1.0 - rho * rho)) * self.std_snr_db
-        noise = float(self._rng.normal(0.0, 1.0)) if innovation > 0 else 0.0
-        self._state_db = (self.mean_snr_db
-                          + rho * (self._state_db - self.mean_snr_db)
-                          + innovation * noise)
-        self._maybe_trigger_deep_fade(now, dt)
+        if innovation > 0:
+            self._state_db = (self.mean_snr_db
+                              + rho * (self._state_db - self.mean_snr_db)
+                              + innovation * self._next_normal())
+        else:
+            self._state_db = (self.mean_snr_db
+                              + rho * (self._state_db - self.mean_snr_db))
+        if self.deep_fade_rate > 0:
+            self._maybe_trigger_deep_fade(now, dt)
         self._last_time = now
 
     def _maybe_trigger_deep_fade(self, now: float, dt: float) -> None:
-        if self.deep_fade_rate <= 0:
-            return
         if now < self._fade_until:
             return
-        probability = min(1.0, self.deep_fade_rate * dt)
-        if float(self._rng.random()) < probability:
+        # Exact Poisson arrival probability over the advance interval; the
+        # first-order ``rate * dt`` truncation under-triggers fades when the
+        # channel is sampled sparsely (large dt).
+        probability = 1.0 - math.exp(-self.deep_fade_rate * dt)
+        if self._next_uniform() < probability:
             duration = float(self._rng.exponential(self.deep_fade_duration))
             self._fade_until = now + duration
 
@@ -111,3 +159,37 @@ class FadingChannel(ChannelModel):
         if now < self._fade_until:
             snr -= self.deep_fade_depth_db
         return ChannelSample.from_snr(now, snr)
+
+    def efficiency(self, now: float) -> float:
+        """Spectral efficiency only -- the per-slot MAC fast path.
+
+        Advances the process exactly like :meth:`sample` (same variate
+        consumption) but skips building the frozen :class:`ChannelSample`
+        and its CQI/MCS fields, which the scheduler never reads.
+        """
+        self._advance(now)
+        snr = self._state_db
+        if now < self._fade_until:
+            snr -= self.deep_fade_depth_db
+        return efficiency_from_snr(snr)
+
+    def mcs_trace(self, duration: float, step: float) -> list[tuple[float, int]]:
+        """Regular-grid MCS trace (Fig. 18), vectorized.
+
+        Advances the AR(1)/fade process step by step exactly like
+        :meth:`sample` (same variate consumption, so the trace is identical
+        to the generic implementation), but collects the raw SNRs and maps
+        them to MCS indices in one :func:`mcs_from_snr_array` table gather
+        instead of building a :class:`ChannelSample` per grid point.
+        """
+        steps = int(duration / step)
+        times = [i * step for i in range(steps)]
+        snrs = np.empty(steps)
+        depth = self.deep_fade_depth_db
+        for i, t in enumerate(times):
+            self._advance(t)
+            snr = self._state_db
+            if t < self._fade_until:
+                snr -= depth
+            snrs[i] = snr
+        return list(zip(times, mcs_from_snr_array(snrs).tolist()))

@@ -12,6 +12,8 @@ from __future__ import annotations
 from bisect import bisect_right
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class McsEntry:
@@ -59,6 +61,14 @@ _CQI_SNR_THRESHOLDS_DB: tuple[float, ...] = (
 )
 
 
+#: Efficiency column of the CQI table, indexable by CQI (hot-path lookup).
+_CQI_EFFICIENCIES: tuple[float, ...] = tuple(e.efficiency for e in CQI_TABLE)
+
+#: MCS index per CQI (``max(0, min(27, cqi * 2 - 2))``), precomputed.
+_CQI_TO_MCS: tuple[int, ...] = tuple(
+    0 if cqi <= 0 else min(27, cqi * 2 - 2) for cqi in range(16))
+
+
 def cqi_from_snr(snr_db: float) -> int:
     """Map an SNR in dB to the highest CQI index whose threshold it meets."""
     index = bisect_right(_CQI_SNR_THRESHOLDS_DB, snr_db) - 1
@@ -72,16 +82,40 @@ def efficiency_from_cqi(cqi: int) -> float:
 
 
 def efficiency_from_snr(snr_db: float) -> float:
-    """Spectral efficiency for an SNR, via the CQI table."""
-    return efficiency_from_cqi(cqi_from_snr(snr_db))
+    """Spectral efficiency for an SNR, via the CQI table.
+
+    This is the per-slot MAC-scheduler lookup, so it indexes the precomputed
+    efficiency column directly instead of going through two clamping helpers.
+    """
+    index = bisect_right(_CQI_SNR_THRESHOLDS_DB, snr_db) - 1
+    if index <= 0:
+        return _CQI_EFFICIENCIES[0]
+    return _CQI_EFFICIENCIES[index if index < 15 else 15]
 
 
 def mcs_from_snr(snr_db: float) -> int:
     """Map SNR to an MCS index in the 0..27 range (roughly 2 MCS per CQI)."""
-    cqi = cqi_from_snr(snr_db)
-    if cqi <= 0:
-        return 0
-    return min(27, max(0, cqi * 2 - 2))
+    return _CQI_TO_MCS[cqi_from_snr(snr_db)]
+
+
+#: CQI thresholds as an array for the vectorized mappers below.
+_CQI_THRESHOLD_ARRAY = np.asarray(_CQI_SNR_THRESHOLDS_DB)
+_CQI_TO_MCS_ARRAY = np.asarray(_CQI_TO_MCS)
+
+
+def cqi_from_snr_array(snr_db: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`cqi_from_snr` over an SNR array."""
+    index = np.searchsorted(_CQI_THRESHOLD_ARRAY, snr_db, side="right") - 1
+    return np.clip(index, 0, 15)
+
+
+def mcs_from_snr_array(snr_db: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`mcs_from_snr`: one table gather per trace batch.
+
+    Used by :meth:`repro.channel.fading.FadingChannel.mcs_trace` to map a
+    whole Fig. 18 SNR trace in one numpy pass.
+    """
+    return _CQI_TO_MCS_ARRAY[cqi_from_snr_array(snr_db)]
 
 
 def snr_for_cqi(cqi: int) -> float:
@@ -96,8 +130,10 @@ __all__ = [
     "CQI_TABLE",
     "MCS_TABLE",
     "cqi_from_snr",
+    "cqi_from_snr_array",
     "efficiency_from_cqi",
     "efficiency_from_snr",
     "mcs_from_snr",
+    "mcs_from_snr_array",
     "snr_for_cqi",
 ]

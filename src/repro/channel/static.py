@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.channel.base import ChannelModel, ChannelSample
+from repro.channel.mcs import efficiency_from_snr
 
 
 class StaticChannel(ChannelModel):
@@ -35,3 +36,10 @@ class StaticChannel(ChannelModel):
         if self.noise_std_db > 0:
             snr += float(self._rng.normal(0.0, self.noise_std_db))
         return ChannelSample.from_snr(now, snr)
+
+    def efficiency(self, now: float) -> float:
+        """Per-slot MAC fast path: same draw, no ChannelSample construction."""
+        snr = self.snr_db
+        if self.noise_std_db > 0:
+            snr += float(self._rng.normal(0.0, self.noise_std_db))
+        return efficiency_from_snr(snr)

@@ -56,7 +56,14 @@ class EgressRateEstimator:
             raise ValueError("window must be positive")
         self.window = window
         self._transmissions: deque[tuple[float, int]] = deque()
-        self._instantaneous: deque[tuple[float, float]] = deque()
+        #: Running byte total of ``_transmissions`` -- sizes are integers, so
+        #: the sum is exact and the per-update window re-scan the estimator
+        #: used to do (its dominant cost at feedback rates) is unnecessary.
+        self._window_bytes = 0
+        # Instantaneous-rate history, split into parallel deques so the
+        # smoothing mean runs ``sum()`` over a flat float sequence.
+        self._inst_times: deque[float] = deque()
+        self._inst_rates: deque[float] = deque()
         self._last_estimate: Optional[RateEstimate] = None
 
     # ------------------------------------------------------------------ #
@@ -67,10 +74,12 @@ class EgressRateEstimator:
         Returns None when the update carried no new transmissions.
         """
         newest_time: Optional[float] = None
+        transmissions = self._transmissions
         for entry in entries:
             if entry.transmitted_time is None:
                 continue
-            self._transmissions.append((entry.transmitted_time, entry.size))
+            transmissions.append((entry.transmitted_time, entry.size))
+            self._window_bytes += entry.size
             newest_time = entry.transmitted_time
         if newest_time is None:
             return self._last_estimate
@@ -78,32 +87,36 @@ class EgressRateEstimator:
 
     def _update(self, now: float) -> RateEstimate:
         self._expire(now)
-        window_start = now - self.window
-        bytes_in_window = sum(size for t, size in self._transmissions
-                              if window_start < t <= now)
-        instantaneous = bytes_in_window / self.window
-        self._instantaneous.append((now, instantaneous))
-        while self._instantaneous and self._instantaneous[0][0] <= now - self.window:
-            self._instantaneous.popleft()
-        rates = [r for _, r in self._instantaneous]
-        smoothed = sum(rates) / len(rates)
-        if len(rates) > 1:
+        instantaneous = self._window_bytes / self.window
+        inst_times = self._inst_times
+        inst_rates = self._inst_rates
+        inst_times.append(now)
+        inst_rates.append(instantaneous)
+        cutoff = now - self.window
+        while inst_times[0] <= cutoff:
+            inst_times.popleft()
+            inst_rates.popleft()
+        count = len(inst_rates)
+        smoothed = sum(inst_rates) / count
+        if count > 1:
             mean = smoothed
-            variance = sum((r - mean) ** 2 for r in rates) / len(rates)
+            variance = sum((r - mean) ** 2 for r in inst_rates) / count
             error_std = math.sqrt(variance)
         else:
             error_std = 0.0
         estimate = RateEstimate(timestamp=now, smoothed_rate=smoothed,
                                 instantaneous_rate=instantaneous,
                                 error_std=error_std,
-                                samples_in_window=len(rates))
+                                samples_in_window=count)
         self._last_estimate = estimate
         return estimate
 
     def _expire(self, now: float) -> None:
-        cutoff = now - 2.0 * self.window
-        while self._transmissions and self._transmissions[0][0] <= cutoff:
-            self._transmissions.popleft()
+        """Drop transmissions outside the trailing window (exact running sum)."""
+        cutoff = now - self.window
+        transmissions = self._transmissions
+        while transmissions and transmissions[0][0] <= cutoff:
+            self._window_bytes -= transmissions.popleft()[1]
 
     # ------------------------------------------------------------------ #
     @property

@@ -38,6 +38,7 @@ from repro.ran.f1u import DeliveryStatus
 from repro.ran.identifiers import DrbId, DrbKey, UeId
 from repro.registry import MARKERS
 from repro.sim.engine import Simulator
+from repro.sim.randomness import chance
 
 
 @dataclass
@@ -53,6 +54,9 @@ class DrbState:
     feedback_count: int = 0
     marks_l4s: int = 0
     marks_classic: int = 0
+    #: Cached generator of the bearer's marking stream -- the per-packet
+    #: marking decision must not rebuild/hash the stream name every time.
+    mark_rng: object = None
 
     @property
     def is_shared(self) -> bool:
@@ -96,7 +100,9 @@ class L4SpanLayer:
             state = DrbState(key=key,
                              profile=DrbProfile(self.config.profile_horizon),
                              estimator=EgressRateEstimator(
-                                 self.config.estimation_window))
+                                 self.config.estimation_window),
+                             mark_rng=self._sim.random.stream(
+                                 f"l4span-mark-{key}"))
             self._drbs[key] = state
         return state
 
@@ -205,8 +211,7 @@ class L4SpanLayer:
     def _maybe_mark(self, packet: Packet, state: DrbState, flow: FlowRecord,
                     now: float) -> None:
         probability = self.mark_probability(state, flow)
-        stream = f"l4span-mark-{state.key}"
-        if probability <= 0 or not self._sim.random.bernoulli(stream, probability):
+        if probability <= 0 or not chance(state.mark_rng, probability):
             flow.record_unmarked(packet.size)
             return
         self.marked_packets += 1

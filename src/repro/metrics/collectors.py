@@ -6,6 +6,7 @@ statistics after the simulation finishes.
 
 from __future__ import annotations
 
+import random
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -15,6 +16,62 @@ from repro.metrics.stats import box_stats, summarize
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
+
+
+class SampleReservoir(list):
+    """A bounded, uniformly representative sample of an append-only stream.
+
+    Behaves exactly like a list until ``capacity`` values have been appended;
+    from then on each further value replaces a random retained one with
+    probability ``capacity / n`` (Vitter's Algorithm R), so the reservoir
+    stays a uniform sample of everything observed while memory stays bounded.
+    Long-running senders append an RTT/cwnd sample per ACK, which previously
+    grew without limit.
+
+    The replacement RNG is a private ``random.Random`` seeded from the
+    capacity, so reservoir contents are a pure function of the append
+    sequence -- parallel sweep workers see identical results.  Runs that
+    never exceed the capacity are bit-identical to the unbounded behaviour.
+    """
+
+    __slots__ = ("capacity", "observed", "_rng")
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__()
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.observed = 0
+        self._rng = random.Random(0x5EED ^ capacity)
+
+    def append(self, value) -> None:
+        n = self.observed = self.observed + 1
+        if n <= self.capacity:
+            list.append(self, value)
+        else:
+            slot = self._rng.randrange(n)
+            if slot < self.capacity:
+                self[slot] = value
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.append(value)
+
+    def __reduce__(self):
+        # list subclasses pickle by replaying items through append(), which
+        # here runs before the capacity/observed/_rng slots exist; rebuild
+        # explicitly instead so reservoirs survive pickling and deepcopy
+        # (e.g. results crossing the parallel sweep's process boundary).
+        return (_rebuild_reservoir, (self.capacity, self.observed,
+                                     self._rng.getstate(), list(self)))
+
+
+def _rebuild_reservoir(capacity, observed, rng_state, items):
+    reservoir = SampleReservoir(capacity)
+    list.extend(reservoir, items)
+    reservoir.observed = observed
+    reservoir._rng.setstate(rng_state)
+    return reservoir
 
 
 @dataclass
@@ -143,18 +200,28 @@ class QueueSampler:
         self.length_samples: dict[str, list[int]] = defaultdict(list)
         self.byte_samples: dict[str, list[int]] = defaultdict(list)
         self.times: list[float] = []
+        self._bearers: Optional[list[tuple[str, object]]] = None
         self._process = PeriodicProcess(sim, interval, self._sample,
                                         name="queue-sampler")
 
+    def _bearer_list(self) -> list[tuple[str, object]]:
+        """(name, entity) pairs, cached -- per-tick DrbKey lookups and
+        report-dict rebuilds were a measurable share of scenario time.  The
+        cache is refreshed whenever a cell gains a bearer (late attach)."""
+        bearers = self._bearers
+        total = sum(len(gnb.du.rlc_items()) for gnb in self._gnbs)
+        if bearers is None or len(bearers) != total:
+            bearers = [(str(key), entity)
+                       for gnb in self._gnbs
+                       for key, entity in gnb.du.rlc_items()]
+            self._bearers = bearers
+        return bearers
+
     def _sample(self) -> None:
         self.times.append(self._sim.now)
-        for gnb in self._gnbs:
-            report = gnb.du.queue_length_report()
-            for key, length in report.items():
-                name = str(key)
-                self.length_samples[name].append(length)
-                entity = gnb.du.rlc_entity(key.ue_id, key.drb_id)
-                self.byte_samples[name].append(entity.backlog_bytes)
+        for name, entity in self._bearer_list():
+            self.length_samples[name].append(entity.queue_length_sdus)
+            self.byte_samples[name].append(entity.backlog_bytes)
 
     def all_length_samples(self) -> list[int]:
         """Every queue-length sample across bearers."""

@@ -34,6 +34,9 @@ class DistributedUnit:
         self.mac = MacScheduler(sim, cell, policy=scheduler_policy)
         self._rlc: dict[DrbKey, RlcEntity] = {}
         self._ue_drbs: dict[UeId, list[DrbId]] = {}
+        #: Per-UE RLC entities in DRB order -- the grant/backlog hot path
+        #: iterates these directly instead of hashing DrbKeys per slot.
+        self._ue_entities: dict[UeId, tuple[RlcEntity, ...]] = {}
         self._pull_rotation: dict[UeId, int] = {}
         f1u.connect_du(self.handle_downlink_sdu)
 
@@ -43,19 +46,35 @@ class DistributedUnit:
     def attach_ue(self, ue: UeContext) -> None:
         """Create the RLC entities for a UE and register it with the MAC."""
         drb_ids: list[DrbId] = []
+        entities: list[RlcEntity] = []
         for drb_config in ue.config.drb_configs():
             key = DrbKey(ue.ue_id, drb_config.drb_id)
-            self._rlc[key] = RlcEntity(
+            entity = RlcEntity(
                 self._sim, ue.ue_id, drb_config, self.air,
                 deliver=ue.deliver,
                 send_status=self._make_status_sender(ue.ue_id,
                                                      drb_config.drb_id))
+            self._rlc[key] = entity
             drb_ids.append(drb_config.drb_id)
+            entities.append(entity)
         self._ue_drbs[ue.ue_id] = drb_ids
+        self._ue_entities[ue.ue_id] = tuple(entities)
         self._pull_rotation[ue.ue_id] = 0
+        # The MAC polls the backlog every slot for every UE; give it the
+        # cheapest possible callable for the dominant bearer layouts.
+        if len(entities) == 1:
+            only = entities[0]
+            backlog = (lambda e=only: e.backlog_bytes)
+        elif len(entities) == 2:
+            first, second = entities
+            backlog = (lambda a=first, b=second:
+                       a.backlog_bytes + b.backlog_bytes)
+        else:
+            backlog = (lambda es=tuple(entities):
+                       sum(e.backlog_bytes for e in es))
         self.mac.register_ue(
             ue.ue_id, ue.channel,
-            backlog_bytes=lambda ue_id=ue.ue_id: self.ue_backlog_bytes(ue_id),
+            backlog_bytes=backlog,
             pull=lambda grant, ue_id=ue.ue_id: self.pull_for_ue(ue_id, grant))
 
     def _make_status_sender(self, ue_id: UeId, drb_id: DrbId):
@@ -87,8 +106,8 @@ class DistributedUnit:
 
     def ue_backlog_bytes(self, ue_id: UeId) -> int:
         """Total RLC backlog across all bearers of one UE."""
-        return sum(self._rlc[DrbKey(ue_id, drb)].backlog_bytes
-                   for drb in self._ue_drbs.get(ue_id, ()))
+        return sum(entity.backlog_bytes
+                   for entity in self._ue_entities.get(ue_id, ()))
 
     def pull_for_ue(self, ue_id: UeId, grant_bytes: int) -> int:
         """Distribute a MAC grant across the UE's backlogged bearers.
@@ -96,44 +115,54 @@ class DistributedUnit:
         Bearers are served round-robin (rotating the starting bearer every
         grant) with an equal split of the grant; any bytes a bearer cannot
         use are offered to the remaining bearers, so a grant is never wasted
-        while any bearer has backlog.
+        while any bearer has backlog.  The sub-grants of one call are pulled
+        with deferred reporting and flushed as a single F1-U delivery-status
+        report per bearer -- one scheduling decision, one report.
         """
-        drbs = self._ue_drbs.get(ue_id, [])
-        if not drbs:
+        entities = self._ue_entities.get(ue_id)
+        if not entities:
             return 0
-        backlogged = [d for d in drbs
-                      if self._rlc[DrbKey(ue_id, d)].backlog_bytes > 0]
+        backlogged = [e for e in entities if e.backlog_bytes > 0]
         if not backlogged:
             return 0
+        if len(backlogged) == 1:
+            # Single backlogged bearer (the dominant case): the whole grant
+            # goes to it in one pull with an immediate report.
+            self._pull_rotation[ue_id] += 1
+            return backlogged[0].pull(grant_bytes)
         rotation = self._pull_rotation[ue_id] % len(backlogged)
         self._pull_rotation[ue_id] += 1
         ordered = backlogged[rotation:] + backlogged[:rotation]
         remaining = grant_bytes
         used_total = 0
         share = max(1, grant_bytes // len(ordered))
-        for index, drb_id in enumerate(ordered):
-            entity = self._rlc[DrbKey(ue_id, drb_id)]
+        for index, entity in enumerate(ordered):
             budget = remaining if index == len(ordered) - 1 else min(share,
                                                                      remaining)
-            used = entity.pull(budget)
+            used = entity.pull(budget, report=False)
             used_total += used
             remaining -= used
             if remaining <= 0:
                 break
         # Second pass: hand any leftover grant to bearers that still have data.
         if remaining > 0:
-            for drb_id in ordered:
-                entity = self._rlc[DrbKey(ue_id, drb_id)]
+            for entity in ordered:
                 if entity.backlog_bytes <= 0:
                     continue
-                used = entity.pull(remaining)
+                used = entity.pull(remaining, report=False)
                 used_total += used
                 remaining -= used
                 if remaining <= 0:
                     break
+        for entity in ordered:
+            entity.flush_status()
         return used_total
 
     # ------------------------------------------------------------------ #
+    def rlc_items(self):
+        """Live (DrbKey, entity) view of every bearer, registration order."""
+        return self._rlc.items()
+
     def queue_length_report(self) -> dict[DrbKey, int]:
         """RLC queue length (in SDUs) of every bearer."""
         return {key: entity.queue_length_sdus

@@ -47,7 +47,7 @@ def resolve_scheduler(name) -> SchedulerPolicy:
     return SCHEDULERS.get(name)
 
 
-@dataclass
+@dataclass(slots=True)
 class _UeSchedulingState:
     """Book-keeping the scheduler maintains for each attached UE."""
 
@@ -58,6 +58,8 @@ class _UeSchedulingState:
     average_throughput: float = 1.0  # bytes/s, seeded > 0 to avoid div-by-zero
     served_bytes_total: int = 0
     scheduled_slots: int = 0
+    #: Bytes served in the slot being processed (scratch for the EWMA pass).
+    slot_served: int = 0
 
 
 class MacScheduler:
@@ -81,9 +83,16 @@ class MacScheduler:
         self.policy = policy
         self.pf_time_constant = pf_time_constant
         self._ues: dict[UeId, _UeSchedulingState] = {}
+        #: Registration-ordered view of the states; the slot loop iterates
+        #: this list instead of allocating a ``dict.values()`` view per slot.
+        self._ue_states: list[_UeSchedulingState] = []
         self._rr_offset = 0
         self.slots = 0
         self.busy_slots = 0
+        # Per-slot constants hoisted off the hot loop.
+        self._decay = cell.slot_duration / pf_time_constant
+        self._inv_slot_duration = 1.0 / cell.slot_duration
+        self._round_robin = policy == SchedulerPolicy.ROUND_ROBIN
         self._process = PeriodicProcess(
             sim, cell.slot_duration, self._on_slot,
             start_at=start if start is not None else sim.now,
@@ -96,9 +105,15 @@ class MacScheduler:
                     backlog_bytes: Callable[[], int],
                     pull: Callable[[int], int]) -> None:
         """Attach a UE: the DU provides backlog and pull callbacks."""
-        self._ues[ue_id] = _UeSchedulingState(
+        state = _UeSchedulingState(
             ue_id=ue_id, channel=channel, backlog_bytes=backlog_bytes,
             pull=pull)
+        previous = self._ues.get(ue_id)
+        if previous is not None:
+            self._ue_states[self._ue_states.index(previous)] = state
+        else:
+            self._ue_states.append(state)
+        self._ues[ue_id] = state
 
     @property
     def num_ues(self) -> int:
@@ -113,36 +128,58 @@ class MacScheduler:
     # Slot processing
     # ------------------------------------------------------------------ #
     def _on_slot(self) -> None:
+        """One TTI: sample channels, allocate PRBs, drain RLC queues.
+
+        This fires at the slot rate (2 kHz for 30 kHz SCS) for every cell, so
+        the loop avoids per-slot dict building where it can: the common
+        single-backlogged-UE case takes a direct path, and the PF throughput
+        EWMA reads a scratch field instead of a per-slot ``served`` dict.
+        """
         self.slots += 1
         now = self._sim.now
-        active = [state for state in self._ues.values()
-                  if state.backlog_bytes() > 0]
-        decay = self.cell.slot_duration / self.pf_time_constant
+        states = self._ue_states
+        active = [state for state in states if state.backlog_bytes() > 0]
+        decay = self._decay
+        keep = 1.0 - decay
         if not active:
-            for state in self._ues.values():
-                state.average_throughput *= (1.0 - decay)
-                state.average_throughput = max(state.average_throughput, 1.0)
+            for state in states:
+                average = state.average_throughput * keep
+                state.average_throughput = average if average > 1.0 else 1.0
             return
         self.busy_slots += 1
-        efficiencies = {s.ue_id: s.channel.efficiency(now) for s in active}
-        allocations = self._allocate_prbs(active, efficiencies)
-        served: dict[UeId, int] = {}
-        for state in active:
-            prbs = allocations.get(state.ue_id, 0)
-            if prbs <= 0:
-                served[state.ue_id] = 0
-                continue
-            grant = self.cell.slot_capacity_bytes(
-                efficiencies[state.ue_id], num_prb=prbs)
+        cell = self.cell
+        if len(active) == 1:
+            # Fast path: one backlogged UE owns the whole cell this slot.
+            # Mirrors the generic policies exactly: RR (and PF's zero-weight
+            # fallback to RR) resets the rotation offset, ``(x + 1) % 1 == 0``.
+            state = active[0]
+            grant = cell.slot_capacity_bytes(state.channel.efficiency(now))
+            if self._round_robin or grant <= 0:
+                self._rr_offset = 0
             used = state.pull(grant) if grant > 0 else 0
             state.served_bytes_total += used
             state.scheduled_slots += 1
-            served[state.ue_id] = used
-        for state in self._ues.values():
-            rate = served.get(state.ue_id, 0) / self.cell.slot_duration
-            state.average_throughput = ((1.0 - decay) * state.average_throughput
-                                        + decay * rate)
-            state.average_throughput = max(state.average_throughput, 1.0)
+            state.slot_served = used
+        else:
+            efficiencies = {s.ue_id: s.channel.efficiency(now)
+                            for s in active}
+            allocations = self._allocate_prbs(active, efficiencies)
+            for state in active:
+                prbs = allocations.get(state.ue_id, 0)
+                if prbs <= 0:
+                    continue
+                grant = cell.slot_capacity_bytes(
+                    efficiencies[state.ue_id], num_prb=prbs)
+                used = state.pull(grant) if grant > 0 else 0
+                state.served_bytes_total += used
+                state.scheduled_slots += 1
+                state.slot_served = used
+        inv_slot = self._inv_slot_duration
+        for state in states:
+            average = (keep * state.average_throughput
+                       + decay * (state.slot_served * inv_slot))
+            state.average_throughput = average if average > 1.0 else 1.0
+            state.slot_served = 0
 
     # ------------------------------------------------------------------ #
     # PRB allocation policies

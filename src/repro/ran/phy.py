@@ -36,6 +36,9 @@ class AirInterfaceConfig:
 class AirInterface:
     """Computes per-transport-block delivery outcomes and delays."""
 
+    __slots__ = ("_sim", "config", "_stream_name", "_ue_streams",
+                 "transmitted_blocks", "harq_retransmissions", "failed_blocks")
+
     def __init__(self, sim: Simulator, config: AirInterfaceConfig | None = None,
                  stream_name: str = "air") -> None:
         self._sim = sim
@@ -59,12 +62,16 @@ class AirInterface:
         return streams
 
     def transmit(self, ue_id: int,
-                 on_delivered: Callable[[float], None],
-                 on_failed: Callable[[float], None]) -> None:
+                 on_delivered: Callable[..., None],
+                 on_failed: Callable[..., None],
+                 payload=None) -> None:
         """Simulate the air-interface fate of one transport block.
 
         Either ``on_delivered(delivery_time)`` or ``on_failed(failure_time)``
-        is scheduled, never both.
+        is scheduled, never both.  When ``payload`` is given it is passed as
+        the first callback argument (``on_delivered(payload, time)``), which
+        lets per-block callers (the RLC) hand over bound methods instead of
+        allocating two closures per transport block.
         """
         cfg = self.config
         self.transmitted_blocks += 1
@@ -83,6 +90,10 @@ class AirInterface:
                                 and chance(harq_rng, bler))
         if final_attempt_failed:
             self.failed_blocks += 1
-            self._sim.schedule(delay, on_failed, self._sim.now + delay)
+            callback = on_failed
         else:
-            self._sim.schedule(delay, on_delivered, self._sim.now + delay)
+            callback = on_delivered
+        if payload is None:
+            self._sim.schedule(delay, callback, self._sim.now + delay)
+        else:
+            self._sim.schedule(delay, callback, payload, self._sim.now + delay)

@@ -10,6 +10,22 @@ The entity reports *downlink data delivery status* over F1-U whenever it
 transmits an SDU (highest transmitted SN) and, in AM, whenever the UE's RLC
 acknowledges delivery (highest delivered SN).  These reports are the only
 visibility L4Span has into the queue (paper §4.3.1).
+
+Hot-path notes (this module runs once per MAC grant and once per delivered
+transport block):
+
+* ``rlc_head`` timestamps are written only when the head of the queue
+  actually changes (enqueue into an empty queue, head pop, retransmission
+  takeover) instead of once per grant iteration, and a re-queued SDU that
+  (re)reaches the head gets a *fresh* stamp -- so
+  :meth:`head_of_line_wait` measures the current head tenure rather than the
+  first time the SDU ever saw the head.
+* In-order delivery is event-driven: an SDU is parked only when it arrives
+  ahead of ``_next_delivery_sn``; there is no speculative flush walk per
+  delivered SDU.
+* A caller that issues several sub-grants in one scheduling decision (the DU
+  splitting a MAC grant across bearers) can pass ``report=False`` and flush
+  one combined F1-U report afterwards via :meth:`flush_status`.
 """
 
 from __future__ import annotations
@@ -25,7 +41,7 @@ from repro.sim.engine import Simulator
 from repro.units import ms
 
 
-@dataclass
+@dataclass(slots=True)
 class RlcSdu:
     """One PDCP SDU sitting in (or moving through) the RLC."""
 
@@ -58,6 +74,15 @@ class RlcEntity:
             ACK reaching the DU (models the UE status-reporting cadence).
     """
 
+    __slots__ = ("_sim", "ue_id", "config", "drb_id", "_air", "_deliver",
+                 "_send_status", "status_delay", "_tx_queue", "_retx_queue",
+                 "highest_txed_sn", "highest_delivered_sn", "enqueued_sdus",
+                 "dropped_sdus", "delivered_sdus", "lost_sdus",
+                 "transmitted_bytes", "backlog_bytes", "_next_delivery_sn",
+                 "_pending_delivery", "_skipped_sns", "reassembly_timeout",
+                 "_delivery_report_pending", "_status_dirty", "_is_am",
+                 "_max_queue_sdus")
+
     def __init__(self, sim: Simulator, ue_id: UeId, config: DrbConfig,
                  air: AirInterface,
                  deliver: Callable[[Packet, float], None],
@@ -82,16 +107,23 @@ class RlcEntity:
         self.delivered_sdus = 0
         self.lost_sdus = 0
         self.transmitted_bytes = 0
-        self._queue_bytes = 0
+        #: Bytes waiting for a transmission grant (tx + re-tx queues); a plain
+        #: attribute because the MAC reads it for every UE on every slot.
+        self.backlog_bytes = 0
 
         # In-order delivery towards the UE's upper layers: SDUs whose air
-        # transfer finished out of order wait here until the gap closes (or,
-        # in UM, until the reassembly timer gives up on the gap).
+        # transfer finished out of order wait here, keyed by SN, until the
+        # gap closes (or, in UM, until the reassembly timer gives up on it).
         self._next_delivery_sn = 0
         self._pending_delivery: dict[int, tuple[RlcSdu, float]] = {}
         self._skipped_sns: set[int] = set()
         self.reassembly_timeout = ms(40.0)
         self._delivery_report_pending = False
+        self._status_dirty = False
+        # Mode/limit resolved once: reading enum-valued dataclass fields per
+        # delivered block is measurable at scenario event rates.
+        self._is_am = config.rlc_mode == RlcMode.AM
+        self._max_queue_sdus = config.max_queue_sdus
 
     # ------------------------------------------------------------------ #
     # Ingress (from PDCP over F1-U)
@@ -102,7 +134,7 @@ class RlcEntity:
         Returns False (and drops the SDU) when the queue already holds
         ``max_queue_sdus`` SDUs, mirroring srsRAN's bounded RLC queue.
         """
-        if self.queue_length_sdus >= self.config.max_queue_sdus:
+        if len(self._tx_queue) + len(self._retx_queue) >= self._max_queue_sdus:
             self.dropped_sdus += 1
             return False
         now = self._sim.now
@@ -111,7 +143,7 @@ class RlcEntity:
         if not self._tx_queue and not self._retx_queue:
             packet.stamp("rlc_head", now)
         self._tx_queue.append(sdu)
-        self._queue_bytes += sdu.size
+        self.backlog_bytes += sdu.size
         self.enqueued_sdus += 1
         return True
 
@@ -119,17 +151,12 @@ class RlcEntity:
     # Queue state
     # ------------------------------------------------------------------ #
     @property
-    def backlog_bytes(self) -> int:
-        """Bytes waiting for a transmission grant (tx + re-tx queues)."""
-        return self._queue_bytes
-
-    @property
     def queue_length_sdus(self) -> int:
         """Number of SDUs waiting (the unit the paper's Fig. 17 reports)."""
         return len(self._tx_queue) + len(self._retx_queue)
 
     def head_of_line_wait(self) -> float:
-        """Seconds the current head SDU has waited since reaching the head."""
+        """Seconds the current head SDU has waited since (re)reaching the head."""
         head = self._head()
         if head is None:
             return 0.0
@@ -146,41 +173,62 @@ class RlcEntity:
     # ------------------------------------------------------------------ #
     # Egress (MAC grant)
     # ------------------------------------------------------------------ #
-    def pull(self, grant_bytes: int) -> int:
+    def pull(self, grant_bytes: int, report: bool = True) -> int:
         """Consume up to ``grant_bytes`` from the queues; returns bytes used.
 
         SDUs are segmented: a grant smaller than the head SDU reduces its
         ``remaining`` counter, and the SDU is only considered *transmitted*
         (triggering the F1-U report and the air-interface transfer) when its
         last segment leaves.  One delivery-status report is emitted per grant
-        (not per SDU), mirroring the batched DDDS reports of a real DU.
+        (not per SDU), mirroring the batched DDDS reports of a real DU; with
+        ``report=False`` even that report is deferred until
+        :meth:`flush_status`, letting the DU coalesce several sub-grants of
+        one scheduling decision into a single report.
         """
         now = self._sim.now
+        retx = self._retx_queue
+        tx = self._tx_queue
         used = 0
         transmitted_any = False
-        while grant_bytes - used > 0:
-            queue = self._retx_queue if self._retx_queue else self._tx_queue
+        while used < grant_bytes:
+            queue = retx if retx else tx
             if not queue:
                 break
             sdu = queue[0]
-            sdu.packet.stamp("rlc_head", now)
-            take = min(sdu.remaining, grant_bytes - used)
-            sdu.remaining -= take
-            used += take
-            if sdu.remaining > 0:
+            budget = grant_bytes - used
+            remaining = sdu.remaining
+            if remaining > budget:
+                sdu.remaining = remaining - budget
+                used += budget
                 break
+            used += remaining
+            sdu.remaining = 0
             queue.popleft()
-            self._queue_bytes -= sdu.size
+            self.backlog_bytes -= sdu.size
             self._on_sdu_transmitted(sdu)
             transmitted_any = True
-            nxt = self._head()
+            nxt = retx[0] if retx else (tx[0] if tx else None)
             if nxt is not None:
-                nxt.packet.stamp("rlc_head", now)
+                nxt.packet.stamp_override("rlc_head", now)
         self.transmitted_bytes += used
         if transmitted_any:
-            self._send_status(self.highest_txed_sn, self.highest_delivered_sn,
-                              now)
+            if report:
+                self._send_status(self.highest_txed_sn,
+                                  self.highest_delivered_sn, now)
+            else:
+                self._status_dirty = True
         return used
+
+    def flush_status(self) -> None:
+        """Emit the delivery-status report deferred by ``pull(report=False)``.
+
+        A no-op unless a deferred pull actually transmitted something, so the
+        DU can call it unconditionally after splitting a grant.
+        """
+        if self._status_dirty:
+            self._status_dirty = False
+            self._send_status(self.highest_txed_sn, self.highest_delivered_sn,
+                              self._sim.now)
 
     # ------------------------------------------------------------------ #
     # Transmission outcome handling
@@ -191,43 +239,59 @@ class RlcEntity:
         sdu.packet.stamp_override("rlc_dequeue", now)
         if self.highest_txed_sn is None or sdu.sn > self.highest_txed_sn:
             self.highest_txed_sn = sdu.sn
-        self._air.transmit(
-            self.ue_id,
-            on_delivered=lambda t, s=sdu: self._on_sdu_delivered(s, t),
-            on_failed=lambda t, s=sdu: self._on_sdu_failed(s, t))
+        self._air.transmit(self.ue_id, self._on_sdu_delivered,
+                           self._on_sdu_failed, sdu)
 
     def _on_sdu_delivered(self, sdu: RlcSdu, delivery_time: float) -> None:
         sdu.delivered_time = delivery_time
         self.delivered_sdus += 1
-        self._pending_delivery[sdu.sn] = (sdu, delivery_time)
-        self._flush_in_order()
-        if (self.config.rlc_mode == RlcMode.UM
-                and sdu.sn > self._next_delivery_sn):
-            # A gap ahead of this SDU will never be retransmitted in UM;
-            # give it one reassembly-timer's grace, then skip it.
-            self._sim.schedule(self.reassembly_timeout,
-                               self._um_reassembly_expiry, sdu.sn)
-        if self.config.rlc_mode == RlcMode.AM:
-            if self.highest_delivered_sn is None or sdu.sn > self.highest_delivered_sn:
-                self.highest_delivered_sn = sdu.sn
+        sn = sdu.sn
+        next_sn = self._next_delivery_sn
+        if sn < next_sn:
+            # The reassembly timer (or a permanent failure bookkeeping bug)
+            # already advanced past this SN: a late-but-successful delivery
+            # must still reach the UE immediately -- parking it in
+            # ``_pending_delivery`` would leak it forever.
+            self._skipped_sns.discard(sn)
+            now = self._sim.now
+            sdu.packet.stamp("ue_delivered", now)
+            self._deliver(sdu.packet, now)
+        elif sn == next_sn:
+            self._pending_delivery[sn] = (sdu, delivery_time)
+            self._flush_in_order()
+        else:
+            self._pending_delivery[sn] = (sdu, delivery_time)
+            if not self._is_am:
+                # A gap ahead of this SDU will never be retransmitted in UM;
+                # give it one reassembly-timer's grace, then skip it.
+                self._sim.schedule(self.reassembly_timeout,
+                                   self._um_reassembly_expiry, sn)
+        if self._is_am:
+            if self.highest_delivered_sn is None or sn > self.highest_delivered_sn:
+                self.highest_delivered_sn = sn
             if not self._delivery_report_pending:
                 self._delivery_report_pending = True
                 self._sim.schedule(self.status_delay, self._report_delivery)
 
     def _flush_in_order(self) -> None:
         """Hand every in-sequence pending SDU to the UE, in SN order."""
+        pending = self._pending_delivery
+        skipped = self._skipped_sns
+        next_sn = self._next_delivery_sn
+        now = self._sim.now
         while True:
-            if self._next_delivery_sn in self._skipped_sns:
-                self._skipped_sns.discard(self._next_delivery_sn)
-                self._next_delivery_sn += 1
+            if skipped and next_sn in skipped:
+                skipped.discard(next_sn)
+                next_sn += 1
                 continue
-            item = self._pending_delivery.pop(self._next_delivery_sn, None)
+            item = pending.pop(next_sn, None)
             if item is None:
-                return
-            sdu, delivery_time = item
-            sdu.packet.stamp("ue_delivered", self._sim.now)
-            self._deliver(sdu.packet, self._sim.now)
-            self._next_delivery_sn += 1
+                break
+            sdu = item[0]
+            sdu.packet.stamp("ue_delivered", now)
+            self._deliver(sdu.packet, now)
+            next_sn += 1
+        self._next_delivery_sn = next_sn
 
     def _um_reassembly_expiry(self, received_sn: int) -> None:
         """UM reassembly timer: give up on gaps below an SDU already received."""
@@ -244,11 +308,16 @@ class RlcEntity:
                           self._sim.now)
 
     def _on_sdu_failed(self, sdu: RlcSdu, failure_time: float) -> None:
-        if self.config.rlc_mode == RlcMode.AM and sdu.retransmissions < 8:
+        if self._is_am and sdu.retransmissions < 8:
             sdu.retransmissions += 1
             sdu.remaining = sdu.size
+            if not self._retx_queue:
+                # The re-queued SDU takes over the head (the re-tx queue has
+                # priority): give it a fresh head stamp so head-of-line wait
+                # is not inflated by its first pass through the queue.
+                sdu.packet.stamp_override("rlc_head", self._sim.now)
             self._retx_queue.append(sdu)
-            self._queue_bytes += sdu.size
+            self.backlog_bytes += sdu.size
         else:
             self.lost_sdus += 1
             # Never block in-order delivery on an SDU that will not arrive.

@@ -75,6 +75,9 @@ class UplinkModel:
                  per_ue_load: float = ms(0.05)) -> None:
         self._sim = sim
         self._stream = f"uplink-ue{ue_id}"
+        # One uplink draw happens per ACK; cache the generator instead of a
+        # name lookup per call (same stream, same variate sequence).
+        self._rng = sim.random.stream(self._stream)
         self.base_delay = base_delay
         self.jitter = jitter
         self.per_ue_load = per_ue_load
@@ -82,7 +85,8 @@ class UplinkModel:
 
     def delay(self) -> float:
         """Draw one uplink traversal delay."""
-        jitter = self._sim.random.exponential(self._stream, self.jitter)
+        jitter = (float(self._rng.exponential(self.jitter))
+                  if self.jitter > 0 else 0.0)
         load = self.per_ue_load * max(0, self.active_ue_count() - 1)
         return self.base_delay + jitter + load
 

@@ -60,6 +60,70 @@ class _Call:
         self._fn(packet)
 
 
+class _BlackholePath:
+    """A sink that delivers nothing: every segment vanishes in flight."""
+
+    def receive(self, packet: Packet) -> None:
+        pass
+
+
+class TestRtoTimer:
+    def test_rto_fires_when_acks_stop(self, sim):
+        from repro.net.addresses import FiveTuple
+        sender = RenoSender(sim, 0, FiveTuple("10.0.0.1", 443, "10.1.0.2",
+                                              50_000, "tcp"),
+                            path=_BlackholePath())
+        sender.start()
+        sim.run(until=5.0)
+        assert sender.stats.timeouts >= 2  # initial 1 s RTO, then backoff
+
+    def test_shrunk_rto_reschedules_standing_timer(self, sim):
+        """When the measured RTO drops below the armed horizon (initial 1 s
+        estimate, or after exponential backoff), the timeout must fire at the
+        new, earlier deadline -- not at the stale event's."""
+        from repro.net.addresses import FiveTuple
+        from repro.net.packet import make_ack_packet, make_data_packet
+        five_tuple = FiveTuple("10.0.0.1", 443, "10.1.0.2", 50_000, "tcp")
+        sender = RenoSender(sim, 0, five_tuple, path=_BlackholePath())
+        sender.start()  # arms the timer with the initial rto = 1.0 s
+
+        def ack_first_segment():
+            data = make_data_packet(0, five_tuple, 0, sender.mss, ECN.ECT0,
+                                    now=0.0)
+            sender.receive(make_ack_packet(data, ack_seq=sender.mss,
+                                           now=sim.now))
+
+        # One ACK with a 10 ms RTT at t=10ms drops rto to its 200 ms floor;
+        # afterwards the path stays black-holed.
+        sim.schedule_at(0.010, ack_first_segment)
+        sim.run(until=0.3)
+        # The timeout fired at ~0.21 s (ACK time + 200 ms floor), well before
+        # the stale 1.0 s horizon, and backoff then doubled the 0.2 s rto.
+        assert sender.stats.timeouts == 1
+        assert sender.rto == pytest.approx(0.4)
+
+    def test_pacing_deferred_burst_after_idle_arms_rto(self, sim):
+        """An ACK that empties the pipe while pacing defers the next burst
+        leaves no deadline armed; the deferred send itself must re-arm the
+        RTO or a lost burst would stall the flow forever."""
+        from repro.net.addresses import FiveTuple
+        from repro.net.packet import make_ack_packet, make_data_packet
+        five_tuple = FiveTuple("10.0.0.1", 443, "10.1.0.2", 50_000, "tcp")
+        sender = RenoSender(sim, 0, five_tuple, path=_BlackholePath())
+        sender.start()
+        sender.srtt = 0.05  # enable pacing
+        sender._next_send_time = sim.now + 0.01  # defer the next burst
+        data = make_data_packet(0, five_tuple, 0, sender.mss, ECN.ECT0, 0.0)
+        sender.receive(make_ack_packet(data, ack_seq=sender.snd_nxt,
+                                       now=sim.now))
+        assert sender.inflight == 0
+        assert sender._rto_deadline is None
+        assert sender._pacing_timer is not None
+        sim.run(until=0.02)  # pacing timer fires and transmits
+        assert sender.inflight > 0
+        assert sender._rto_deadline is not None
+
+
 class TestGenericWindowMachinery:
     def test_sender_fills_the_pipe(self, sim):
         sender = LoopbackPath(sim, PragueSender, rate_mbps=10).run(3.0)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.channel.base import ChannelSample
+from repro.channel.base import ChannelModel, ChannelSample
 from repro.channel.coherence import fraction_longer_than, stable_periods
 from repro.channel.fading import FadingChannel, coherence_time_for_speed, doppler_spread
 from repro.channel.mcs import (cqi_from_snr, efficiency_from_cqi,
@@ -86,6 +86,18 @@ class TestChannels:
             samples = [channel.sample(t * 0.001).snr_db for t in range(3000)]
             return np.mean(np.abs(np.diff(samples)))
         assert lag1_diff(fast) > lag1_diff(slow)
+
+    def test_vectorized_mcs_trace_matches_sample_loop(self):
+        """FadingChannel.mcs_trace (vectorized table gather) must be
+        bit-identical to the generic sample()-per-point implementation."""
+        def make():
+            return FadingChannel(mean_snr_db=18, std_snr_db=5, speed_kmh=30,
+                                 rng=np.random.default_rng(9),
+                                 deep_fade_rate=0.5, deep_fade_depth_db=12,
+                                 deep_fade_duration=0.2)
+        fast = make().mcs_trace(2.0, 0.005)
+        generic = ChannelModel.mcs_trace(make(), 2.0, 0.005)
+        assert fast == generic
 
     def test_deep_fade_reduces_snr(self):
         channel = FadingChannel(mean_snr_db=20, std_snr_db=0.1, speed_kmh=3,

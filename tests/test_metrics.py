@@ -8,11 +8,60 @@ import pytest
 
 from repro.metrics.breakdown import breakdown_from_packet
 from repro.metrics.collectors import (DelayBreakdownAccumulator, OwdCollector,
-                                      ThroughputCollector, TimeSeries)
+                                      SampleReservoir, ThroughputCollector,
+                                      TimeSeries)
 from repro.metrics.stats import (box_stats, cdf_points, percentile,
                                  reduction_percent, summarize)
 from repro.net.ecn import ECN
 from repro.net.packet import make_data_packet
+
+
+class TestSampleReservoir:
+    def test_below_capacity_is_exact(self):
+        reservoir = SampleReservoir(100)
+        reservoir.extend(range(50))
+        assert list(reservoir) == list(range(50))
+        assert reservoir.observed == 50
+
+    def test_capacity_bounds_length(self):
+        reservoir = SampleReservoir(64)
+        reservoir.extend(range(10_000))
+        assert len(reservoir) == 64
+        assert reservoir.observed == 10_000
+        assert all(0 <= value < 10_000 for value in reservoir)
+
+    def test_replacement_is_deterministic(self):
+        first, second = SampleReservoir(32), SampleReservoir(32)
+        first.extend(range(1000))
+        second.extend(range(1000))
+        assert list(first) == list(second)
+
+    def test_is_a_list(self):
+        reservoir = SampleReservoir(8)
+        reservoir.append(1.5)
+        assert sum(reservoir) == 1.5
+        assert list(reservoir) == [1.5]
+        assert min(reservoir) == 1.5
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            SampleReservoir(0)
+
+    def test_pickle_and_deepcopy_round_trip(self):
+        import copy
+        import pickle
+        reservoir = SampleReservoir(8)
+        reservoir.extend(range(20))
+        for clone in (pickle.loads(pickle.dumps(reservoir)),
+                      copy.deepcopy(reservoir)):
+            assert list(clone) == list(reservoir)
+            assert clone.capacity == 8
+            assert clone.observed == 20
+            clone.append(99)  # replacement stream continues identically
+        twin = pickle.loads(pickle.dumps(reservoir))
+        reservoir.append(99)
+        twin.append(99)
+        assert list(twin) == list(reservoir)
 
 
 class TestStats:

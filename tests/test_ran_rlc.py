@@ -123,3 +123,100 @@ class TestRlcQueueing:
         sim.schedule(0.2, lambda: None)
         sim.run()
         assert harness.entity.head_of_line_wait() == pytest.approx(0.2)
+
+
+class TestRlcRetransmissionAccounting:
+    """AM retransmission bookkeeping: bytes, loss and head-of-line stamps."""
+
+    def test_am_retx_byte_accounting_invariant(self, sim, five_tuple):
+        # target_bler=1.0 makes every HARQ attempt (and the final decode)
+        # fail, so each transmission is re-queued until the 8-retx cap.
+        harness = RlcHarness(sim, bler=1.0)
+        entity = harness.entity
+        harness.enqueue_packets(five_tuple, 1)
+        for _attempt in range(9):  # initial transmission + 8 retransmissions
+            assert entity.backlog_bytes == sum(entity.queued_sdu_sizes())
+            assert entity.queue_length_sdus == 1
+            used = entity.pull(1440)
+            assert used == 1440
+            assert entity.backlog_bytes == 0
+            sim.run(until=sim.now + 1.0)  # air failure -> re-queue (or loss)
+        assert entity.lost_sdus == 1
+        assert entity.queue_length_sdus == 0
+        assert entity.backlog_bytes == 0
+        assert harness.delivered == []
+
+    def test_requeued_sdu_gets_fresh_head_stamp(self, sim, five_tuple):
+        """After a HARQ failure the re-queued SDU must not report a
+        head-of-line wait inflated by its first pass through the queue."""
+        harness = RlcHarness(sim, bler=1.0)
+        entity = harness.entity
+        harness.enqueue_packets(five_tuple, 1)
+        entity.pull(1440)
+        # Failure (and re-queue) happens at base_delay + 3 * harq_rtt = 26 ms.
+        requeue_time = 0.002 + 3 * 0.008
+        sim.schedule(0.05, lambda: None)
+        sim.run()
+        assert entity.queue_length_sdus == 1
+        assert entity.head_of_line_wait() == pytest.approx(
+            sim.now - requeue_time)
+
+
+class TestRlcInOrderDelivery:
+    """In-order delivery across skipped SNs and late UM deliveries."""
+
+    def _detach_queued_sdus(self, entity, count):
+        """Take the queued SDUs out of the entity so delivery outcomes can be
+        injected in a controlled order (as if their air transfers raced)."""
+        sdus = list(entity._tx_queue)[:count]
+        for _ in range(count):
+            entity._tx_queue.popleft()
+        entity.backlog_bytes -= sum(s.size for s in sdus)
+        return sdus
+
+    def test_um_late_delivery_after_expiry_is_not_leaked(self, sim, five_tuple):
+        harness = RlcHarness(sim, mode=RlcMode.UM)
+        entity = harness.entity
+        harness.enqueue_packets(five_tuple, 3)
+        sdus = self._detach_queued_sdus(entity, 3)
+        # SNs 1 and 2 complete their air transfer while SN 0 is still in
+        # flight: the gap holds delivery back.
+        entity._on_sdu_delivered(sdus[1], sim.now)
+        entity._on_sdu_delivered(sdus[2], sim.now)
+        assert harness.delivered == []
+        # The UM reassembly timer gives up on the gap...
+        sim.run(until=0.1)
+        assert [p.seq for p in harness.delivered] == [1400, 2800]
+        # ...and a late-but-successful SN 0 must still reach the UE
+        # immediately instead of parking in the pending map forever.
+        entity._on_sdu_delivered(sdus[0], sim.now)
+        assert [p.seq for p in harness.delivered] == [1400, 2800, 0]
+        assert entity._pending_delivery == {}
+        assert entity._skipped_sns == set()
+
+    def test_flush_across_skipped_sns(self, sim, five_tuple):
+        harness = RlcHarness(sim, mode=RlcMode.UM)
+        entity = harness.entity
+        harness.enqueue_packets(five_tuple, 4)
+        sdus = self._detach_queued_sdus(entity, 4)
+        # SNs 0 and 1 are permanently lost (UM never retransmits), SN 2 lands.
+        entity._on_sdu_failed(sdus[0], sim.now)
+        entity._on_sdu_failed(sdus[1], sim.now)
+        assert entity.lost_sdus == 2
+        entity._on_sdu_delivered(sdus[2], sim.now)
+        assert [p.seq for p in harness.delivered] == [2800]
+        # Delivery resumed past the skipped gap: SN 3 flows straight through.
+        entity._on_sdu_delivered(sdus[3], sim.now)
+        assert [p.seq for p in harness.delivered] == [2800, 4200]
+
+    def test_am_delivery_resumes_after_exhausted_retx(self, sim, five_tuple):
+        """A lost AM SDU (retx cap hit) must not block later SNs."""
+        harness = RlcHarness(sim, bler=1.0)
+        entity = harness.entity
+        harness.enqueue_packets(five_tuple, 2)
+        sdus = self._detach_queued_sdus(entity, 2)
+        sdus[0].retransmissions = 8  # cap reached: the next failure is final
+        entity._on_sdu_failed(sdus[0], sim.now)
+        assert entity.lost_sdus == 1
+        entity._on_sdu_delivered(sdus[1], sim.now)
+        assert [p.seq for p in harness.delivered] == [1400]
