@@ -14,10 +14,14 @@ Run via ``scripts/bench_smoke.sh`` (included in the default smoke target).
 from __future__ import annotations
 
 import cProfile
+import dataclasses
 import pstats
+import time
 
 from benchmarks.conftest import attach_rows, scaled_duration
+from repro.experiments.presets import make_preset
 from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.experiments.sharded import run_scenario_sharded
 
 
 def _prague_config(duration: float) -> ScenarioConfig:
@@ -70,6 +74,37 @@ def test_scenario_2ue_prague_pedestrian(benchmark):
 
 def test_scenario_2ue_cubic_static(benchmark):
     _bench_scenario(benchmark, _mixed_config, scaled_duration(6.0))
+
+
+def test_scenario_8cell_sharded_vs_single_loop(benchmark):
+    """Events/sec of the sharded 8-cell run vs the same spec on one loop.
+
+    The benchmark clock times the sharded run (4 worker processes); the
+    single-loop reference is timed separately and attached, so the BENCH
+    JSON trajectory records the sharded-vs-single comparison and the
+    measured speedup on this machine's core count.
+    """
+    spec = dataclasses.replace(make_preset("eight-cell"),
+                               duration_s=scaled_duration(3.0))
+    start = time.perf_counter()
+    single = run_scenario(spec)
+    single_elapsed = time.perf_counter() - start
+    single_eps = single.events_processed / single_elapsed
+
+    sharded = benchmark.pedantic(
+        lambda: run_scenario_sharded(spec, shards=4), rounds=1, iterations=1)
+    sharded_eps = sharded.events_processed / benchmark.stats.stats.min
+    attach_rows(
+        benchmark, [sharded.summary()],
+        events=sharded.events_processed,
+        events_per_sec_best=sharded_eps,
+        single_loop_events_per_sec=single_eps,
+        single_loop_events=single.events_processed,
+        sharded_speedup=(sharded_eps / single_eps if single_eps else 0.0),
+        shards=4)
+    # Static channel: the shard split must not change what was simulated.
+    assert sharded.total_goodput_mbps() == single.total_goodput_mbps()
+    assert len(sharded.flows) == len(single.flows) == 8
 
 
 def test_scenario_events_deterministic():

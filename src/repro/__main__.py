@@ -49,6 +49,11 @@ def _build_spec(args: argparse.Namespace):
         # The spec's legacy ``l4span`` boolean would otherwise outrank the
         # explicitly requested marker.
         overrides["l4span"] = None
+    if args.shards is not None:
+        from repro.experiments.spec import ShardingSpec
+        overrides["sharding"] = (
+            ShardingSpec(mode="auto", shards=args.shards)
+            if args.shards > 1 else ShardingSpec(mode="off"))
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
     if spec.flows is not None:
@@ -171,6 +176,10 @@ def main(argv: list[str] | None = None) -> int:
     scenario.add_argument("--scheduler", default=None,
                           choices=SCHEDULERS.names(include_aliases=True))
     scenario.add_argument("--seed", type=int, default=None)
+    scenario.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard a multi-cell scenario over N worker processes "
+             "(1 disables; see the README's Parallelism section)")
     scenario.add_argument("--json", action="store_true",
                           help="print the summary as JSON instead of a table")
     scenario.add_argument("--dump-spec", action="store_true",

@@ -31,7 +31,8 @@ from repro.core.marking import (classic_mark_probability,
 from repro.core.profile_table import DrbProfile
 from repro.core.sojourn import SojournPredictor, SojournPrediction
 from repro.net.addresses import FiveTuple
-from repro.net.checksum import mark_ce_with_checksum, recompute_checksums
+from repro.net.checksum import (mark_ce_with_checksum, tcp_rewrite_words,
+                                update_checksums_after_ack_rewrite)
 from repro.net.ecn import ECN, FlowClass
 from repro.net.packet import Packet
 from repro.ran.f1u import DeliveryStatus
@@ -265,19 +266,23 @@ class L4SpanLayer:
                 time.perf_counter() - start)
 
     def _shortcircuit_ack(self, packet: Packet, flow: FlowRecord) -> None:
-        rewritten = False
+        # The pre-rewrite words are captured only on the branches that are
+        # about to mutate, so ACKs that need no rewrite pay nothing here.
+        old_words = None
         if flow.uses_accecn and packet.accecn is not None:
+            old_words = tcp_rewrite_words(packet)
             packet.accecn.ce_packets = flow.tentative.ce_packets
             packet.accecn.ce_bytes = flow.tentative.ce_bytes
             packet.accecn.ect1_bytes = flow.tentative.ect1_bytes
             packet.accecn.ect0_bytes = flow.tentative.ect0_bytes
-            rewritten = True
         elif not flow.uses_accecn:
             if flow.ece_latched and not packet.ece:
+                old_words = tcp_rewrite_words(packet)
                 packet.ece = True
-                rewritten = True
-        if rewritten:
-            recompute_checksums(packet)
+        if old_words is not None:
+            # RFC 1624 incremental update from the words just rewritten; the
+            # IP header is untouched so its checksum is never recomputed.
+            update_checksums_after_ack_rewrite(packet, old_words)
             flow.shortcircuited_acks += 1
             self.shortcircuited_acks += 1
 

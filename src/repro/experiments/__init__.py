@@ -12,13 +12,21 @@ from repro.experiments.runner import (SweepRunner, derive_cell_seed,
 from repro.experiments.scenario import (FlowResult, ScenarioConfig,
                                         ScenarioResult, build_scenario,
                                         run_scenario, run_scenario_dict)
-from repro.experiments.spec import CellSpec, ScenarioSpec, UeSpec
+from repro.experiments.sharded import (ShardPlan, build_shard_plan,
+                                       run_scenario_sharded, split_spec)
+from repro.experiments.spec import (CellSpec, ScenarioSpec, ShardingSpec,
+                                    UeSpec)
 from repro.experiments.wired import WiredScenarioConfig, run_wired_scenario
 
 __all__ = [
     "ScenarioSpec",
     "CellSpec",
     "UeSpec",
+    "ShardingSpec",
+    "ShardPlan",
+    "build_shard_plan",
+    "run_scenario_sharded",
+    "split_spec",
     "make_preset",
     "preset_names",
     "run_scenario_dict",

@@ -9,7 +9,7 @@ afterwards.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario

@@ -15,14 +15,14 @@ up through its fields.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
 from repro.experiments.runner import SweepRunner
 from repro.experiments.scenario import run_scenario
 from repro.experiments.spec import ScenarioSpec
 from repro.metrics.stats import BoxStats, box_stats
-from repro.ran.identifiers import DEFAULT_RLC_QUEUE_SDUS, SHORT_RLC_QUEUE_SDUS
+from repro.ran.identifiers import DEFAULT_RLC_QUEUE_SDUS
 from repro.units import ms
 
 

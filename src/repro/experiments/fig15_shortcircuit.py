@@ -8,12 +8,12 @@ throughput CDFs with the short-circuiting rewrite enabled versus disabled
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.config import L4SpanConfig
 from repro.experiments.scenario import ScenarioConfig, run_scenario
-from repro.metrics.stats import box_stats, cdf_points, percentile
+from repro.metrics.stats import cdf_points, percentile
 from repro.units import ms
 
 

@@ -14,8 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.l4span import L4SpanLayer
-from repro.core.marking import (classic_mark_probability,
-                                coupled_l4s_probability, l4s_mark_probability)
+from repro.core.marking import l4s_mark_probability
 from repro.experiments.scenario import ScenarioConfig, build_scenario
 from repro.metrics.stats import summarize
 from repro.net.ecn import FlowClass

@@ -8,7 +8,7 @@ the point where throughput has recovered while RTT is still low.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.core.config import L4SpanConfig

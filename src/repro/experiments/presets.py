@@ -78,6 +78,21 @@ def two_cell_imbalance() -> ScenarioSpec:
              UeSpec(ue_id=3, cell_id=1, channel_profile="static")])
 
 
+@SCENARIO_PRESETS.register("eight-cell", "8cell")
+def eight_cell() -> ScenarioSpec:
+    """Eight static-channel cells sharing one core, one Prague UE each.
+
+    The sharding showcase: cells only meet at the 5G core, so the scenario
+    splits perfectly across worker processes (``--shards``), and the static
+    channel makes the sharded run metric-identical to the single loop.
+    """
+    return ScenarioSpec(
+        name="eight-cell", num_ues=0, duration_s=6.0, marker="l4span",
+        channel_profile="static", seed=7,
+        cells=[CellSpec(cell_id=cell) for cell in range(8)],
+        ues=[UeSpec(ue_id=ue, cell_id=ue) for ue in range(8)])
+
+
 @SCENARIO_PRESETS.register("video-plus-bulk")
 def video_plus_bulk() -> ScenarioSpec:
     """A SCReAM interactive-video flow next to two Prague bulk downloads."""

@@ -33,9 +33,10 @@ from repro.channel.profiles import make_channel
 from repro.core.factory import make_marker
 from repro.core.l4span import L4SpanLayer
 from repro.experiments.spec import (CellSpec, ScenarioSpec, UeSpec)
-from repro.metrics.collectors import (DelayBreakdownAccumulator, OwdCollector,
-                                      QueueSampler, RateEstimationProbe,
-                                      ThroughputCollector, TimeSeries)
+from repro.metrics.collectors import (DelayBreakdownAccumulator,
+                                      OwdCollector, QueueSampler,
+                                      RateEstimationProbe, ThroughputCollector,
+                                      TimeSeries, merge_numeric_summaries)
 from repro.metrics.stats import box_stats, summarize
 from repro.net.addresses import FiveTuple
 from repro.net.packet import Packet
@@ -163,6 +164,15 @@ class ScenarioResult:
         }
 
 
+def ue_ip_address(ue_id: int) -> str:
+    """The deterministic client IP a UE's flows terminate at.
+
+    A pure function of the UE id, so the sharded runtime's boundary router
+    can rebuild the address map without building the scenarios.
+    """
+    return f"10.45.0.{(ue_id % 250) + 2}"
+
+
 class BuiltScenario:
     """A wired-up scenario ready to run (exposed for advanced tests)."""
 
@@ -214,7 +224,7 @@ class BuiltScenario:
 
     # ------------------------------------------------------------------ #
     def _ue_ip(self, ue_id: int) -> str:
-        return f"10.45.0.{(ue_id % 250) + 2}"
+        return ue_ip_address(ue_id)
 
     def _build_ues(self) -> None:
         for ue_spec in self.ue_specs.values():
@@ -300,36 +310,34 @@ class BuiltScenario:
         """The marker of the cell serving the flow's UE."""
         return self.markers[self.ue_specs[spec.ue_id].cell_id]
 
-    def _marker_summary(self) -> dict:
+    def marker_cell_summaries(self) -> list[tuple[int, dict]]:
+        """Per-cell ``(cell_id, summary)`` pairs, in cell declaration order."""
         def one(marker) -> dict:
             if hasattr(marker, "summary"):
                 return marker.summary()
             return {"marked_packets": getattr(marker, "marked_packets", 0)}
-        summaries = [one(self.markers[c.cell_id]) for c in self.cell_specs]
-        if len(summaries) == 1:
-            return summaries[0]
-        # Multi-cell: sum the numeric counters across cells.
-        merged: dict = {}
-        for summary in summaries:
-            for key, value in summary.items():
-                if isinstance(value, (int, float)):
-                    merged[key] = merged.get(key, 0) + value
-                else:
-                    merged.setdefault(key, value)
-        return merged
+        return [(cell.cell_id, one(self.markers[cell.cell_id]))
+                for cell in self.cell_specs]
 
-    def run(self) -> ScenarioResult:
-        """Run the simulation and collect results."""
-        config = self.config
-        events = self.sim.run(until=config.duration_s)
+    def _marker_summary(self) -> dict:
+        return merge_numeric_summaries(
+            [summary for _cell, summary in self.marker_cell_summaries()])
+
+    def stop_collectors(self) -> None:
+        """Stop periodic machinery (MAC clocks, samplers, probes)."""
         for gnb in self.gnbs.values():
             gnb.stop()
         self.queue_sampler.stop()
         if self.rate_probe is not None:
             self.rate_probe.stop()
-        return self._collect(events)
 
-    def _collect(self, events: int) -> ScenarioResult:
+    def run(self) -> ScenarioResult:
+        """Run the simulation and collect results."""
+        events = self.sim.run(until=self.config.duration_s)
+        self.stop_collectors()
+        return self.collect(events)
+
+    def collect(self, events: int) -> ScenarioResult:
         config = self.config
         flow_results: list[FlowResult] = []
         for spec in self.flow_specs:
@@ -402,7 +410,15 @@ def build_scenario(config: ScenarioSpec) -> BuiltScenario:
 
 
 def run_scenario(config: ScenarioSpec) -> ScenarioResult:
-    """Build and run a scenario, returning its results."""
+    """Build and run a scenario, returning its results.
+
+    When the spec's ``sharding`` block asks for it (and the scenario is
+    shardable), cells are distributed over worker processes by the sharded
+    runtime; the merged result carries the exact single-loop report schema.
+    """
+    if config.sharding.enabled:
+        from repro.experiments.sharded import run_scenario_sharded
+        return run_scenario_sharded(config)
     return build_scenario(config).run()
 
 

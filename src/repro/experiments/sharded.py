@@ -1,0 +1,644 @@
+"""Process-per-cell sharding of multi-cell scenarios.
+
+A multi-cell :class:`~repro.experiments.spec.ScenarioSpec` describes N radio
+cells sharing one 5G core.  The single event loop simulates them back to
+back; this module instead runs **one simulator per shard of cells, each in
+its own worker process**, synchronized conservatively — the same federated
+decomposition distributed ns-3/OMNeT++ deployments use.
+
+Why it is exact
+---------------
+The only path between two cells is WAN → 5G core → RAN, and the core adds a
+fixed processing delay with no queueing, so a cell can never observe another
+cell's events closer than one WAN leg away.  Each shard therefore advances in
+**lookahead windows** equal to the minimum WAN one-way delay of any flow: at
+every window boundary the shards exchange timestamped packet batches (the
+"core/WAN boundary"), and a packet handed off inside window ``[t, t+L]`` is
+delivered at ``handoff + L >= t + L``, i.e. never inside a window the
+receiving shard has already simulated.  No rollback is ever needed.  In the
+common case the split proves no packet can cross shards at all (every
+flow's server, WAN pipes, core routes and UE are co-located), the lookahead
+over zero inter-shard links is unbounded, and each shard runs to the
+horizon in one window with no barrier exchanges.
+
+Determinism contract
+--------------------
+Every random stream in a scenario is named per cell, per UE, per bearer or
+per flow (``channel-ue3``, ``air-ue3``, ``l4span-mark-ue3/drb1``, ...), and
+shard simulators reuse the *master* seed, so a stream's seed and draw
+sequence are identical whether its cell runs in the shared loop or in any
+shard.  Consequently a sharded run is deterministic for a fixed shard map,
+reproducible across repeats and shard counts, and — on a static channel —
+produces **per-flow metrics identical to the single-loop run** (the fading
+profiles are identical too).  Scenarios the split cannot reproduce exactly
+are refused up front by :func:`sharding_blockers` and fall back to the
+single loop: cells coupled through a wired middlebox, and UE populations
+whose client address space wraps (>250 UEs sharing an IP, which even the
+single loop only resolves by last-registration-wins misdelivery).
+
+The per-shard collector outputs are recombined by the merge helpers in
+:mod:`repro.metrics.collectors` into the exact single-loop report schema.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.scenario import (BuiltScenario, FlowResult,
+                                        ScenarioResult, ScenarioSpec,
+                                        build_scenario, ue_ip_address)
+from repro.experiments.spec import ShardingSpec
+from repro.metrics.collectors import (DelayBreakdownAccumulator,
+                                      merge_numeric_summaries,
+                                      merge_sample_dicts)
+from repro.net.packet import Packet
+
+#: Environment variable forcing the in-process synchronizer (no worker
+#: processes), e.g. on sandboxes that cannot fork.
+INPROCESS_ENV = "REPRO_SHARD_INPROCESS"
+
+#: Seconds the coordinator waits for a worker message before declaring the
+#: run wedged (workers simulate milliseconds per window; this is generous).
+_WORKER_TIMEOUT_S = 600.0
+
+
+class ShardPlanError(ValueError):
+    """Raised when a spec cannot be sharded as requested."""
+
+
+class ConservativeSyncError(RuntimeError):
+    """A boundary packet arrived inside an already-simulated window."""
+
+
+# --------------------------------------------------------------------- #
+# Planning: which cell runs where, and how far shards may run ahead
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ShardPlan:
+    """A concrete placement of cells onto shards plus the lookahead window.
+
+    Attributes:
+        assignment: ``cell_id -> shard index`` (shard indices are dense,
+            ``0 .. num_shards-1``).
+        num_shards: number of worker loops.
+        lookahead: conservative synchronization window in seconds — the
+            minimum WAN one-way leg of any flow, i.e. the closest one cell's
+            events can ever matter to another.
+    """
+
+    assignment: dict[int, int]
+    num_shards: int
+    lookahead: float
+
+    def cells_of(self, shard: int) -> list[int]:
+        """Cell ids placed on ``shard``, in declaration order."""
+        return [cell for cell, s in self.assignment.items() if s == shard]
+
+
+def sharding_blockers(spec: ScenarioSpec) -> list[str]:
+    """Human-readable reasons why ``spec`` cannot be sharded (empty = can)."""
+    blockers = []
+    if len(spec.resolved_cells()) < 2:
+        blockers.append("fewer than two cells")
+    if spec.wired_bottleneck_mbps is not None:
+        blockers.append("a wired middlebox queues all cells' traffic jointly")
+    ues = spec.resolved_ues()
+    if len({ue_ip_address(ue.ue_id) for ue in ues}) < len(ues):
+        # The /24 client address space wraps past 250 UEs; the single loop
+        # resolves the collision with a last-registration-wins routing table
+        # (misdelivering the earlier UE's flows), and a shard split cannot
+        # reproduce that byte-for-byte when the colliding UEs land on
+        # different shards.  Refuse rather than silently diverge.
+        blockers.append("UE address space wraps (>250 UEs share an IP)")
+    return blockers
+
+
+def boundary_lookahead(spec: ScenarioSpec) -> float:
+    """The conservative window: the minimum WAN one-way leg of any flow."""
+    rtts = [flow.wan_rtt if flow.wan_rtt is not None else spec.wan_rtt
+            for flow in spec.resolved_flows()]
+    rtt = min(rtts) if rtts else spec.wan_rtt
+    return max(rtt / 2.0, 1e-4)
+
+
+def build_shard_plan(spec: ScenarioSpec,
+                     shards: Optional[int] = None) -> ShardPlan:
+    """Turn the spec's ``sharding`` block into a concrete :class:`ShardPlan`.
+
+    ``shards`` overrides the block's worker count (the CLI's ``--shards``).
+    Auto mode distributes cells round-robin in declaration order; explicit
+    mode uses the block's map with shard indices renumbered densely.
+    """
+    sharding = spec.sharding
+    cell_ids = [cell.cell_id for cell in spec.resolved_cells()]
+    if sharding.mode == "explicit":
+        missing = sorted(set(cell_ids) - set(sharding.map))
+        if missing:
+            raise ShardPlanError(f"sharding map misses cell(s) {missing}")
+        raw = {cell: sharding.map[cell] for cell in cell_ids}
+        dense = {old: new for new, old in enumerate(sorted(set(raw.values())))}
+        assignment = {cell: dense[shard] for cell, shard in raw.items()}
+        num_shards = len(dense)
+        if shards is not None and shards != num_shards:
+            raise ShardPlanError(
+                f"--shards {shards} conflicts with the explicit map's "
+                f"{num_shards} shard(s); drop one of the two")
+    else:
+        num_shards = shards if shards is not None else sharding.shards
+        if num_shards is None:
+            num_shards = min(len(cell_ids), os.cpu_count() or 1)
+        num_shards = max(1, min(int(num_shards), len(cell_ids)))
+        assignment = {cell: index % num_shards
+                      for index, cell in enumerate(cell_ids)}
+    return ShardPlan(assignment=assignment, num_shards=num_shards,
+                     lookahead=boundary_lookahead(spec))
+
+
+def split_spec(spec: ScenarioSpec, plan: ShardPlan) -> list[ScenarioSpec]:
+    """Split a validated spec into one self-contained sub-spec per shard.
+
+    Each sub-spec keeps the master seed (the determinism contract above),
+    carries the fully resolved cells/UEs/flows of its shard, and has
+    sharding switched off.  Only the shard hosting the scenario's first cell
+    keeps ``rate_probe`` (the single loop probes the first cell only).
+    """
+    cells = spec.resolved_cells()
+    ues = spec.resolved_ues()
+    flows = spec.resolved_flows()
+    first_cell = cells[0].cell_id
+    subs = []
+    for shard in range(plan.num_shards):
+        shard_cell_ids = {cell_id for cell_id, s in plan.assignment.items()
+                          if s == shard}
+        shard_cells = [c for c in cells if c.cell_id in shard_cell_ids]
+        shard_ues = [u for u in ues if u.cell_id in shard_cell_ids]
+        shard_ue_ids = {u.ue_id for u in shard_ues}
+        shard_flows = [f for f in flows if f.ue_id in shard_ue_ids]
+        subs.append(dataclasses.replace(
+            spec,
+            name=f"{spec.label()}#shard{shard}",
+            num_ues=0,
+            cells=shard_cells,
+            ues=shard_ues,
+            flows=shard_flows,
+            rate_probe=spec.rate_probe and first_cell in shard_cell_ids,
+            sharding=ShardingSpec(mode="off")))
+    return subs
+
+
+def window_schedule(duration: float, lookahead: float) -> list[float]:
+    """The shared list of window-end times every participant iterates.
+
+    Computed once and distributed so coordinator and workers can never drift
+    apart through repeated floating-point accumulation.
+    """
+    ends = []
+    t = 0.0
+    while t < duration - 1e-12:
+        t = min(t + lookahead, duration)
+        ends.append(t)
+    return ends
+
+
+# --------------------------------------------------------------------- #
+# One shard: a built sub-scenario advanced window by window
+# --------------------------------------------------------------------- #
+class _BoundaryBuffer:
+    """PacketSink collecting this shard's outbound cross-boundary packets."""
+
+    def __init__(self, sim) -> None:
+        self._sim = sim
+        self._outbound: list[tuple[float, Packet]] = []
+
+    def receive(self, packet: Packet) -> None:
+        self._outbound.append((self._sim.now, packet))
+
+    def drain(self) -> list[tuple[float, Packet]]:
+        out, self._outbound = self._outbound, []
+        return out
+
+
+@dataclass
+class ShardResult:
+    """Everything one shard ships back for the merge step (picklable)."""
+
+    shard_index: int
+    flows: list[FlowResult]
+    queue_lengths: dict[str, list[int]]
+    bearer_order: list[tuple[int, list[str]]]
+    breakdown_count: int
+    breakdown_sums: dict[str, float]
+    marker_summaries: list[tuple[int, dict]]
+    per_ue_throughput: dict[int, float]
+    rate_errors: list[float]
+    events_processed: int
+    boundary_packets: int = 0
+    windows: int = 0
+
+
+class ShardHost:
+    """One shard's simulator, its boundary buffer, and the window stepper.
+
+    The host is synchronizer-agnostic: the in-process fallback drives a list
+    of hosts directly, and :func:`_shard_worker` pumps one host over a pipe
+    from a worker process — both through the same three methods.
+    """
+
+    def __init__(self, sub_spec: ScenarioSpec, shard_index: int) -> None:
+        self.shard_index = shard_index
+        self.scenario: BuiltScenario = build_scenario(sub_spec)
+        self.boundary = _BoundaryBuffer(self.scenario.sim)
+        self.scenario.core.remote_sink = self.boundary
+        self.windows = 0
+        self.boundary_packets = 0
+
+    def advance(self, until: float) -> list[tuple[float, Packet]]:
+        """Run the local loop up to ``until``; return drained outbound batch."""
+        self.scenario.sim.run(until=until)
+        self.windows += 1
+        batch = self.boundary.drain()
+        self.boundary_packets += len(batch)
+        return batch
+
+    def inject(self, batch: list[tuple[float, Packet]]) -> None:
+        """Schedule inbound boundary packets onto the local loop.
+
+        ``deliver_at`` stamps are produced by the router as
+        ``handoff + lookahead``; the conservative window guarantees they are
+        never in this shard's past — enforce it rather than assume it.
+        """
+        sim = self.scenario.sim
+        core = self.scenario.core
+        for deliver_at, packet in batch:
+            if deliver_at < sim.now - 1e-12:
+                raise ConservativeSyncError(
+                    f"shard {self.shard_index}: boundary packet for "
+                    f"t={deliver_at:.6f} arrived at local time "
+                    f"{sim.now:.6f}; lookahead window violated")
+            if core.knows_ue_address(packet.five_tuple.dst_ip):
+                sink = core.receive          # downlink: to a local UE
+            else:
+                sink = core.receive_uplink   # uplink: to a local WAN path
+            sim.schedule_at(max(deliver_at, sim.now), sink, packet)
+
+    def finish(self) -> ShardResult:
+        """Stop collectors and package this shard's results for the merge."""
+        scenario = self.scenario
+        scenario.stop_collectors()
+        result = scenario.collect(scenario.sim.processed_events)
+        return ShardResult(
+            shard_index=self.shard_index,
+            flows=result.flows,
+            queue_lengths={name: list(values) for name, values
+                           in scenario.queue_sampler.length_samples.items()},
+            bearer_order=[(cell_id,
+                           [str(key) for key, _ in gnb.du.rlc_items()])
+                          for cell_id, gnb in scenario.gnbs.items()],
+            breakdown_count=scenario.breakdown.count,
+            breakdown_sums=dict(scenario.breakdown.sums),
+            marker_summaries=scenario.marker_cell_summaries(),
+            per_ue_throughput=result.per_ue_throughput,
+            rate_errors=result.rate_estimation_errors,
+            events_processed=result.events_processed,
+            boundary_packets=self.boundary_packets,
+            windows=self.windows)
+
+
+# --------------------------------------------------------------------- #
+# Boundary routing (coordinator side)
+# --------------------------------------------------------------------- #
+@dataclass
+class _BoundaryRouter:
+    """Routes drained boundary packets to the shard that can deliver them."""
+
+    ip_to_shard: dict[str, int]
+    flow_to_shard: dict[int, int]
+    lookahead: float
+    num_shards: int
+    routed_packets: int = 0
+    dropped_packets: int = 0
+
+    #: True when two shards could ever owe each other a packet.
+    #: ``split_spec`` co-locates every flow's server, WAN pipes, core routes
+    #: and UE on one shard, and ``sharding_blockers`` refuses the one split
+    #: that could alias addresses across shards (wrapped >250-UE spaces), so
+    #: through :func:`run_scenario_sharded` this is always False today and
+    #: the synchronizer runs a single window to the horizon — conservative
+    #: lookahead over zero inter-federate links is unbounded.  The windowed
+    #: barrier protocol below stays unit-tested scaffolding for future
+    #: genuinely-coupled topologies (inter-cell handover, shared AQM).
+    boundary_required: bool = False
+
+    @classmethod
+    def for_plan(cls, spec: ScenarioSpec, plan: ShardPlan,
+                 ue_ip) -> "_BoundaryRouter":
+        ip_to_shard = {}
+        ip_conflict = False
+        flow_to_shard = {}
+        ue_cell = {}
+        for ue in spec.resolved_ues():
+            ue_cell[ue.ue_id] = ue.cell_id
+            shard = plan.assignment[ue.cell_id]
+            address = ue_ip(ue.ue_id)
+            if ip_to_shard.setdefault(address, shard) != shard:
+                # Defensive only: sharding_blockers refuses wrapped address
+                # spaces before a plan is built, so run_scenario_sharded can
+                # never reach this.  Kept for hand-built plans: last
+                # registration wins, like the single core's routing table.
+                ip_to_shard[address] = shard
+                ip_conflict = True
+        for flow in spec.resolved_flows():
+            flow_to_shard[flow.flow_id] = plan.assignment[ue_cell[flow.ue_id]]
+        return cls(ip_to_shard=ip_to_shard, flow_to_shard=flow_to_shard,
+                   lookahead=plan.lookahead, num_shards=plan.num_shards,
+                   boundary_required=ip_conflict)
+
+    def route(self, outputs: list[list[tuple[float, Packet]]]
+              ) -> list[list[tuple[float, Packet]]]:
+        """Turn per-shard outbound batches into per-shard inbound batches."""
+        inbound: list[list[tuple[float, Packet]]] = [
+            [] for _ in range(self.num_shards)]
+        for source, batch in enumerate(outputs):
+            for handoff, packet in batch:
+                target = self.ip_to_shard.get(packet.five_tuple.dst_ip)
+                if target is None:
+                    target = self.flow_to_shard.get(packet.flow_id)
+                if target is None or target == source:
+                    if not packet.is_ack:
+                        # The single loop's core raises for an unroutable
+                        # downlink datagram; a sharded run must be as loud,
+                        # not silently corrupt the metrics.
+                        raise KeyError(
+                            f"no shard can deliver downlink packet for "
+                            f"{packet.five_tuple.dst_ip} (flow "
+                            f"{packet.flow_id}, from shard {source})")
+                    # Unknown uplink flows are dropped silently by the
+                    # single core too; count them for the post-run warning.
+                    self.dropped_packets += 1
+                    continue
+                self.routed_packets += 1
+                inbound[target].append((handoff + self.lookahead, packet))
+        return inbound
+
+
+# --------------------------------------------------------------------- #
+# Result merge: per-shard collector outputs -> single-loop report schema
+# --------------------------------------------------------------------- #
+def merge_shard_results(config: ScenarioSpec, plan: ShardPlan,
+                        results: list[ShardResult]) -> ScenarioResult:
+    """Recombine shard results into the exact single-loop result schema.
+
+    Orderings the single loop makes observable are reconstructed from the
+    full spec: flows in declared flow order, queue samples cell by cell in
+    declaration order, marker summaries merged over cells in declaration
+    order.  ``events_processed`` is the sum over shard loops (the sharded
+    run ticks one queue sampler per shard, so it exceeds the single-loop
+    count by those extra sampler events).
+    """
+    results = sorted(results, key=lambda r: r.shard_index)
+    flows_by_id = {flow.flow_id: flow for r in results for flow in r.flows}
+    ordered_flows = [flows_by_id[f.flow_id] for f in config.resolved_flows()]
+
+    bearer_names: dict[int, list[str]] = {}
+    for r in results:
+        for cell_id, names in r.bearer_order:
+            bearer_names[cell_id] = names
+    all_lengths = merge_sample_dicts(r.queue_lengths for r in results)
+    queue_by_drb: dict[str, list[int]] = {}
+    for cell in config.resolved_cells():
+        for name in bearer_names.get(cell.cell_id, []):
+            if name in all_lengths:
+                queue_by_drb[name] = all_lengths[name]
+    queue_samples = [sample for values in queue_by_drb.values()
+                     for sample in values]
+
+    breakdown = DelayBreakdownAccumulator()
+    for r in results:
+        breakdown.merge_from(r.breakdown_count, r.breakdown_sums)
+
+    summaries: dict[int, dict] = {}
+    for r in results:
+        for cell_id, summary in r.marker_summaries:
+            summaries[cell_id] = summary
+    marker_summary = merge_numeric_summaries(
+        [summaries[cell.cell_id] for cell in config.resolved_cells()
+         if cell.cell_id in summaries])
+
+    merged_ue = {}
+    for r in results:
+        merged_ue.update(r.per_ue_throughput)
+    per_ue: dict[int, float] = {}
+    for flow in config.resolved_flows():
+        per_ue.setdefault(flow.ue_id, merged_ue.get(flow.ue_id, 0.0))
+
+    return ScenarioResult(
+        config=config,
+        flows=ordered_flows,
+        queue_length_samples=queue_samples,
+        queue_length_by_drb=queue_by_drb,
+        delay_breakdown=breakdown.averages(),
+        marker_summary=marker_summary,
+        per_ue_throughput=per_ue,
+        rate_estimation_errors=[error for r in results
+                                for error in r.rate_errors],
+        duration_s=config.duration_s,
+        events_processed=sum(r.events_processed for r in results))
+
+
+# --------------------------------------------------------------------- #
+# Synchronizers
+# --------------------------------------------------------------------- #
+def _run_hosts_inprocess(hosts: list[ShardHost], router: _BoundaryRouter,
+                         windows: list[float]) -> list[ShardResult]:
+    """Drive all shard hosts in one process, window by window.
+
+    The sequential twin of the process synchronizer: same windows, same
+    exchanges, same results — used as the sandbox fallback and by tests that
+    must not depend on the platform's multiprocessing support.
+    """
+    for window_end in windows:
+        outputs = [host.advance(window_end) for host in hosts]
+        for host, batch in zip(hosts, router.route(outputs)):
+            host.inject(batch)
+    return [host.finish() for host in hosts]
+
+
+def _shard_worker(conn, payload: dict) -> None:
+    """Worker-process main: pump one :class:`ShardHost` over a pipe.
+
+    Protocol, in lock-step with the coordinator for every window end W:
+    worker sends ``("window", outbound_batch)`` after simulating up to W,
+    then blocks for ``("proceed", inbound_batch)``.  After the last window it
+    sends ``("result", ShardResult)``.  Any exception is shipped back as
+    ``("error", traceback_text)`` instead of dying silently.
+    """
+    try:
+        spec = ScenarioSpec.from_dict(payload["spec"])
+        host = ShardHost(spec, payload["shard_index"])
+        for window_end in payload["windows"]:
+            conn.send(("window", host.advance(window_end)))
+            _kind, inbound = conn.recv()
+            host.inject(inbound)
+        conn.send(("result", host.finish()))
+    except Exception:  # pragma: no cover - ships the traceback to the parent
+        import traceback
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except OSError:
+            pass
+    finally:
+        conn.close()
+
+
+class _WorkersUnavailable(RuntimeError):
+    """Worker processes could not be created on this platform."""
+
+
+def _recv(conn, shard: int):
+    if not conn.poll(_WORKER_TIMEOUT_S):
+        raise RuntimeError(f"shard {shard} sent nothing for "
+                           f"{_WORKER_TIMEOUT_S:.0f}s; run wedged")
+    kind, value = conn.recv()
+    if kind == "error":
+        raise RuntimeError(f"shard {shard} worker failed:\n{value}")
+    return kind, value
+
+
+def _run_workers(sub_specs: list[ScenarioSpec], router: _BoundaryRouter,
+                 windows: list[float],
+                 start_method: Optional[str]) -> list[ShardResult]:
+    """Coordinator: one worker process per shard, barrier per window."""
+    pipes, workers = [], []
+    try:
+        context = (multiprocessing.get_context(start_method)
+                   if start_method else multiprocessing.get_context())
+        for index, sub in enumerate(sub_specs):
+            parent, child = context.Pipe()
+            worker = context.Process(
+                target=_shard_worker,
+                args=(child, {"spec": sub.to_dict(), "shard_index": index,
+                              "windows": windows}),
+                name=f"repro-shard-{index}", daemon=True)
+            worker.start()
+            child.close()
+            pipes.append(parent)
+            workers.append(worker)
+    except (ImportError, NotImplementedError, OSError, PermissionError) as exc:
+        # Partial startup (e.g. EAGAIN on the Nth fork): reap the workers
+        # that did start before falling back, or they would simulate the
+        # whole scenario concurrently with the in-process retry.
+        for conn in pipes:
+            conn.close()
+        for worker in workers:
+            worker.terminate()
+            worker.join(timeout=5.0)
+        raise _WorkersUnavailable(str(exc)) from exc
+    try:
+        for _window_end in windows:
+            outputs = []
+            for shard, conn in enumerate(pipes):
+                _kind, batch = _recv(conn, shard)
+                outputs.append(batch)
+            for conn, batch in zip(pipes, router.route(outputs)):
+                conn.send(("proceed", batch))
+        results = []
+        for shard, conn in enumerate(pipes):
+            _kind, result = _recv(conn, shard)
+            results.append(result)
+        return results
+    finally:
+        for conn in pipes:
+            conn.close()
+        for worker in workers:
+            worker.join(timeout=5.0)
+            if worker.is_alive():  # pragma: no cover - defensive cleanup
+                worker.terminate()
+
+
+# --------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------- #
+def run_scenario_sharded(config: ScenarioSpec, shards: Optional[int] = None,
+                         inprocess: Optional[bool] = None,
+                         start_method: Optional[str] = None
+                         ) -> ScenarioResult:
+    """Run ``config`` with cells sharded across processes; merged result.
+
+    Falls back transparently: unshardable specs (single cell, wired
+    middlebox) run on the classic single loop; platforms that cannot host
+    worker processes use the in-process synchronizer (identical results —
+    only wall-clock differs).  ``shards`` overrides the spec's worker count.
+    """
+    config.validate()
+    blockers = sharding_blockers(config)
+    if blockers:
+        if config.sharding.mode == "explicit":
+            raise ShardPlanError("spec cannot be sharded: "
+                                 + "; ".join(blockers))
+        unsharded = dataclasses.replace(config,
+                                        sharding=ShardingSpec(mode="off"))
+        return build_scenario(unsharded).run()
+    plan = build_shard_plan(config, shards=shards)
+    if plan.num_shards <= 1:
+        unsharded = dataclasses.replace(config,
+                                        sharding=ShardingSpec(mode="off"))
+        return build_scenario(unsharded).run()
+    sub_specs = split_spec(config, plan)
+    router = _BoundaryRouter.for_plan(config, plan, ue_ip=ue_ip_address)
+    # Conservative lookahead over zero inter-shard links is unbounded:
+    # when no packet can ever cross the boundary (the common, collision-free
+    # split), each shard runs straight to the horizon in one window and the
+    # barrier exchanges — one pipe round-trip per lookahead window — vanish.
+    windows = (window_schedule(config.duration_s, plan.lookahead)
+               if router.boundary_required else [config.duration_s])
+    if inprocess is None:
+        inprocess = bool(os.environ.get(INPROCESS_ENV))
+    results = None
+    if not inprocess:
+        try:
+            results = _run_workers(sub_specs, router, windows, start_method)
+        except _WorkersUnavailable as exc:
+            warnings.warn(
+                f"shard worker processes unavailable ({exc}); running all "
+                f"{plan.num_shards} shards in-process (same results, no "
+                "parallel speedup)", RuntimeWarning, stacklevel=2)
+    if results is None:
+        hosts = [ShardHost(sub, index)
+                 for index, sub in enumerate(sub_specs)]
+        results = _run_hosts_inprocess(hosts, router, windows)
+    if router.dropped_packets:
+        warnings.warn(
+            f"sharded run dropped {router.dropped_packets} unroutable "
+            "uplink packet(s) at the shard boundary (the single loop drops "
+            "these silently)", RuntimeWarning, stacklevel=2)
+    return merge_shard_results(config, plan, results)
+
+
+def run_scenario_dict_sharded(spec_dict: dict,
+                              shards: Optional[int] = None) -> ScenarioResult:
+    """Sharded twin of ``run_scenario_dict`` (sweep-cell form)."""
+    return run_scenario_sharded(ScenarioSpec.from_dict(spec_dict),
+                                shards=shards)
+
+
+__all__ = [
+    "ConservativeSyncError",
+    "ShardHost",
+    "ShardPlan",
+    "ShardPlanError",
+    "ShardResult",
+    "ShardingSpec",
+    "boundary_lookahead",
+    "build_shard_plan",
+    "merge_shard_results",
+    "run_scenario_sharded",
+    "run_scenario_dict_sharded",
+    "sharding_blockers",
+    "split_spec",
+    "window_schedule",
+]

@@ -66,6 +66,55 @@ class CellSpec:
     air: Optional[AirInterfaceConfig] = None
 
 
+#: Sharding modes understood by the sharded runtime.
+SHARDING_MODES = ("off", "auto", "explicit")
+
+
+@dataclass
+class ShardingSpec:
+    """How (and whether) to split a multi-cell scenario across processes.
+
+    Attributes:
+        mode: ``"off"`` runs the classic single event loop; ``"auto"``
+            distributes cells round-robin over ``shards`` worker processes
+            (defaulting to one shard per cell, capped at the CPU count);
+            ``"explicit"`` places each cell on the shard named by ``map``.
+        shards: worker count for ``"auto"`` mode, or None for the default.
+        map: explicit ``cell_id -> shard index`` placement (``"explicit"``).
+    """
+
+    mode: str = "off"
+    shards: Optional[int] = None
+    map: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # JSON object keys are strings; normalise back to int cell ids so a
+        # spec deserialized from JSON compares equal to the original.
+        self.map = {int(cell): int(shard) for cell, shard in self.map.items()}
+
+    @property
+    def enabled(self) -> bool:
+        """True when this block asks for a sharded run."""
+        if self.mode == "off":
+            return False
+        if self.mode == "auto":
+            return self.shards is None or self.shards > 1
+        return True
+
+    def validate(self) -> "ShardingSpec":
+        if self.mode not in SHARDING_MODES:
+            raise ValueError(f"unknown sharding mode {self.mode!r}; "
+                             f"choose from {SHARDING_MODES}")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("sharding.shards must be >= 1")
+        if self.mode == "explicit" and not self.map:
+            raise ValueError("explicit sharding requires a cell->shard map")
+        for cell, shard in self.map.items():
+            if shard < 0:
+                raise ValueError(f"cell {cell} mapped to negative shard {shard}")
+        return self
+
+
 @dataclass
 class UeSpec:
     """Per-UE overrides; any field left None inherits the scenario default.
@@ -130,6 +179,9 @@ class ScenarioSpec:
     name: str = ""
     cells: list[CellSpec] = field(default_factory=list)
     ues: list[UeSpec] = field(default_factory=list)
+    # Process-per-cell sharding of multi-cell scenarios (off by default; see
+    # repro.experiments.sharded for the runtime and its determinism contract).
+    sharding: ShardingSpec = field(default_factory=ShardingSpec)
 
     def __post_init__(self) -> None:
         # Normalise the throttle schedule to tuples so a spec deserialized
@@ -228,8 +280,19 @@ class ScenarioSpec:
         ids, dangling cell references).
         """
         MARKERS.resolve(self.resolved_marker() or "none")
+        self.sharding.validate()
         cells = self.resolved_cells()
         cell_ids = {cell.cell_id for cell in cells}
+        if self.sharding.mode == "explicit":
+            missing = sorted(cell_ids - set(self.sharding.map))
+            if missing:
+                raise ValueError(
+                    f"explicit sharding map misses cell(s) {missing}")
+            unknown = sorted(set(self.sharding.map) - cell_ids)
+            if unknown:
+                raise ValueError(
+                    f"explicit sharding map names unknown cell(s) {unknown}; "
+                    f"declared cells: {sorted(cell_ids)}")
         for cell in cells:
             SCHEDULERS.resolve(cell.scheduler)
         ues = self.resolved_ues()
@@ -274,6 +337,7 @@ class ScenarioSpec:
             "cell": CellConfig,
             "air": AirInterfaceConfig,
             "l4span_config": L4SpanConfig,
+            "sharding": ShardingSpec,
         }
         for key, nested_cls in nested.items():
             if key in data and data[key] is not None:

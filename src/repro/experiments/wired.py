@@ -13,7 +13,7 @@ from typing import Optional
 
 from repro.aqm.dualpi2 import DualPi2Router
 from repro.cc.factory import make_receiver, make_sender
-from repro.metrics.collectors import OwdCollector, ThroughputCollector, TimeSeries
+from repro.metrics.collectors import ThroughputCollector, TimeSeries
 from repro.metrics.stats import summarize
 from repro.net.addresses import FiveTuple
 from repro.net.packet import Packet

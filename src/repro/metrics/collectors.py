@@ -9,9 +9,9 @@ from __future__ import annotations
 import random
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Optional
 
-from repro.metrics.breakdown import DelayBreakdown, breakdown_from_packet
+from repro.metrics.breakdown import breakdown_from_packet
 from repro.metrics.stats import box_stats, summarize
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
@@ -183,6 +183,63 @@ class DelayBreakdownAccumulator:
         if self.count == 0:
             return {key: 0.0 for key in self.sums}
         return {key: value / self.count for key, value in self.sums.items()}
+
+    def merge_from(self, count: int, sums: dict) -> None:
+        """Fold another accumulator's raw ``(count, sums)`` into this one.
+
+        Per-shard accumulators ship their exact sums across the process
+        boundary, so the merged :meth:`averages` equal the single-loop run's
+        (same totals, same divisor) instead of being a mean of means.
+        """
+        self.count += count
+        for key, value in sums.items():
+            self.sums[key] = self.sums.get(key, 0.0) + value
+
+
+# --------------------------------------------------------------------- #
+# Shard merge helpers
+#
+# A sharded scenario produces one collector set per worker process; these
+# functions recombine their outputs into the exact schema (and, where the
+# single loop's iteration order is observable, the exact ordering) of an
+# unsharded run.  They live here, next to the collectors whose outputs they
+# merge, so the collection and recombination logic evolve together.
+# --------------------------------------------------------------------- #
+def merge_sample_dicts(parts) -> dict:
+    """Concatenate ``{key: [samples]}`` dicts with disjoint sample streams.
+
+    Keys are expected to be unique per part (bearer names are scenario-global
+    because UE ids are); a key appearing in several parts — a bearer whose
+    samples were split across result fragments — is concatenated in the order
+    the parts are given.
+    """
+    merged: dict = {}
+    for part in parts:
+        for key, values in part.items():
+            if key in merged:
+                merged[key] = list(merged[key]) + list(values)
+            else:
+                merged[key] = list(values)
+    return merged
+
+
+def merge_numeric_summaries(summaries) -> dict:
+    """Merge marker/component summary dicts by summing numeric counters.
+
+    Non-numeric values keep the first occurrence.  A single summary is
+    returned unchanged (identity with the single-cell report schema).
+    """
+    summaries = list(summaries)
+    if len(summaries) == 1:
+        return summaries[0]
+    merged: dict = {}
+    for summary in summaries:
+        for key, value in summary.items():
+            if isinstance(value, (int, float)):
+                merged[key] = merged.get(key, 0) + value
+            else:
+                merged.setdefault(key, value)
+    return merged
 
 
 class QueueSampler:

@@ -9,7 +9,7 @@ where feedback short-circuiting happens.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.net.base import PacketSink
 from repro.net.packet import Packet

@@ -8,7 +8,7 @@ delivery-status reports that feed L4Span's packet profile table.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.net.packet import Packet
 from repro.ran.cell import CellConfig

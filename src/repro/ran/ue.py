@@ -10,7 +10,7 @@ before re-entering the gNB, where the marker may rewrite it
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.channel.base import ChannelModel

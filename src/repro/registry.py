@@ -31,7 +31,7 @@ so registration has happened by lookup time.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Optional, TypeVar
+from typing import Any, Callable, Iterator, TypeVar
 
 T = TypeVar("T")
 

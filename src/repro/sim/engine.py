@@ -125,6 +125,25 @@ class Simulator:
         """Request that :meth:`run` return after the current event."""
         self._running = False
 
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def peek_time(self) -> Optional[float]:
+        """Firing time of the earliest live event, or ``None`` when idle.
+
+        Lets windowed callers (``run(until=t)`` invoked repeatedly) observe
+        how far ahead this loop could safely run and whether it has work
+        left at all — the hook an adaptive shard synchronizer needs (see
+        the ROADMAP's open item; today the sharded runtime's windows are
+        spec-derived and this is exercised by the engine tests only).
+        """
+        return self.events.peek_time()
+
+    @property
+    def pending_events(self) -> int:
+        """Number of heap entries still queued (including cancelled ones)."""
+        return len(self.events)
+
     @property
     def processed_events(self) -> int:
         """Total number of events processed since construction."""

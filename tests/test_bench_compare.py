@@ -1,0 +1,90 @@
+"""Tests for the CI benchmark regression gate (scripts/bench_compare.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+_SCRIPT = (pathlib.Path(__file__).parent.parent / "scripts"
+           / "bench_compare.py")
+_spec = importlib.util.spec_from_file_location("bench_compare", _SCRIPT)
+bench_compare = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_compare)
+
+
+def _run_file(tmp_path, benchmarks) -> pathlib.Path:
+    machine = tmp_path / "Linux-CPython-3.11-64bit"
+    machine.mkdir(parents=True, exist_ok=True)
+    run = machine / "0001_deadbeef_20260101_000000.json"
+    run.write_text(json.dumps({"benchmarks": benchmarks}))
+    return run
+
+
+def _bench(name, extra_info=None, minimum=None):
+    record = {"name": name, "fullname": f"benchmarks/x.py::{name}",
+              "extra_info": extra_info or {}}
+    if minimum is not None:
+        record["stats"] = {"min": minimum}
+    return record
+
+
+class TestExtractMetrics:
+    def test_rates_from_extra_info_and_rows(self, tmp_path):
+        run = _run_file(tmp_path, [
+            _bench("a", {"events_per_sec_best": 1000.0}),
+            _bench("b", {"rows": [{"packets_per_sec_best": 50.0}]}),
+            _bench("c", minimum=0.25),
+        ])
+        metrics = bench_compare.extract_metrics(run)
+        assert metrics == {
+            "benchmarks/x.py::a:events_per_sec_best": 1000.0,
+            "benchmarks/x.py::b:packets_per_sec_best": 50.0,
+            "benchmarks/x.py::c:ops_per_sec": 4.0,
+        }
+
+
+class TestGate:
+    def _baseline(self, tmp_path, metrics) -> pathlib.Path:
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"metrics": metrics}))
+        return baseline
+
+    def test_within_threshold_passes(self, tmp_path, capsys):
+        run = _run_file(tmp_path, [_bench("a", {"events_per_sec_best": 900.0})])
+        baseline = self._baseline(
+            tmp_path, {"benchmarks/x.py::a:events_per_sec_best": 1000.0})
+        code = bench_compare.main(["--run", str(run),
+                                   "--baseline", str(baseline)])
+        assert code == 0
+
+    def test_regression_fails(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv(bench_compare.WARN_ONLY_ENV, raising=False)
+        run = _run_file(tmp_path, [_bench("a", {"events_per_sec_best": 800.0})])
+        baseline = self._baseline(
+            tmp_path, {"benchmarks/x.py::a:events_per_sec_best": 1000.0})
+        assert bench_compare.main(["--run", str(run),
+                                   "--baseline", str(baseline)]) == 1
+        # ... unless one of the warn-only escape hatches is engaged.
+        assert bench_compare.main(["--run", str(run), "--warn-only",
+                                   "--baseline", str(baseline)]) == 0
+
+    def test_missing_tracked_metric_fails(self, tmp_path, capsys, monkeypatch):
+        """A renamed/deleted benchmark must not silently shrink the gate."""
+        monkeypatch.delenv(bench_compare.WARN_ONLY_ENV, raising=False)
+        run = _run_file(tmp_path, [_bench("renamed",
+                                          {"events_per_sec_best": 1e6})])
+        baseline = self._baseline(
+            tmp_path, {"benchmarks/x.py::a:events_per_sec_best": 1000.0})
+        assert bench_compare.main(["--run", str(run),
+                                   "--baseline", str(baseline)]) == 1
+
+    def test_update_round_trips(self, tmp_path, capsys):
+        run = _run_file(tmp_path, [_bench("a", {"events_per_sec_best": 1234.5})])
+        baseline = tmp_path / "baseline.json"
+        assert bench_compare.main(["--run", str(run), "--update",
+                                   "--baseline", str(baseline)]) == 0
+        assert bench_compare.main(["--run", str(run),
+                                   "--baseline", str(baseline)]) == 0
+        saved = json.loads(baseline.read_text())["metrics"]
+        assert saved == {"benchmarks/x.py::a:events_per_sec_best": 1234.5}

@@ -22,7 +22,6 @@ from repro.net.ecn import ECN
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.net.pipe import DelayPipe
-from repro.sim.engine import Simulator
 from repro.units import mbps, ms
 
 
@@ -194,7 +193,6 @@ class TestEcnResponses:
     def test_cubic_sets_cwr_after_reduction(self, sim):
         path = LoopbackPath(sim, CubicSender, rate_mbps=10,
                             aqm=StepMarker(threshold=ms(1)))
-        cwr_seen = []
         original = path.sender._send_segment
 
         def spy(seq, payload, retransmission=False):

@@ -10,8 +10,7 @@ from repro.net.addresses import FiveTuple
 from repro.net.ecn import ECN, FlowClass
 from repro.net.packet import AccEcnCounters, make_ack_packet, make_data_packet
 from repro.ran.f1u import DeliveryStatus
-from repro.sim.engine import Simulator
-from repro.units import mbps, ms
+from repro.units import ms
 
 
 @pytest.fixture

@@ -155,6 +155,55 @@ class TestEgressRateEstimator:
         with pytest.raises(ValueError):
             EgressRateEstimator(window=0.0)
 
+    def test_welford_window_matches_direct_two_pass(self):
+        """The running Welford accumulator is numerically equivalent to the
+        direct ``sum()`` mean/variance passes it replaced, across a bursty
+        random feed that exercises both insertion and window expiry."""
+        import math
+        import random
+
+        rng = random.Random(42)
+        estimator = EgressRateEstimator(window=0.01)
+        window: list[tuple[float, float]] = []  # (time, instantaneous rate)
+        now = 0.0
+        for _ in range(500):
+            now += rng.uniform(0.0002, 0.004)
+            size = rng.choice((100, 1448, 2896, 40_000))
+            estimate = estimator.observe_transmissions([_Entry(now, size)])
+            # Direct reference: rebuild the instantaneous-rate window and
+            # compute mean/std with fresh full passes.
+            window.append((now, estimate.instantaneous_rate))
+            window = [(t, r) for t, r in window if t > now - 0.01]
+            rates = [r for _t, r in window]
+            mean = sum(rates) / len(rates)
+            variance = (sum((r - mean) ** 2 for r in rates) / len(rates)
+                        if len(rates) > 1 else 0.0)
+            assert estimate.samples_in_window == len(rates)
+            assert estimate.smoothed_rate == pytest.approx(mean, rel=1e-9)
+            # The std sits ~4 orders of magnitude below the mean, so a few
+            # ulps of cancellation in the remove step are expected; 1e-6
+            # relative is far below anything the marking rule can perceive.
+            assert estimate.error_std == pytest.approx(math.sqrt(variance),
+                                                       rel=1e-6, abs=1e-6)
+
+    def test_welford_accumulator_add_remove_exact(self):
+        """Unit check of the accumulator itself against statistics.pvariance."""
+        import statistics
+
+        from repro.core.egress import WindowedMeanVariance
+
+        stats = WindowedMeanVariance()
+        values = [1e7, 1.2e7, 0.3e7, 5e7, 4.99e7, 0.01e7, 2.5e7]
+        for value in values:
+            stats.add(value)
+        for expect_window in (values[2:], values[4:]):
+            while stats.count > len(expect_window):
+                stats.remove(values[len(values) - stats.count])
+            assert stats.mean == pytest.approx(
+                statistics.fmean(expect_window), rel=1e-12)
+            assert stats.variance() == pytest.approx(
+                statistics.pvariance(expect_window), rel=1e-9)
+
 
 class TestSojournPredictor:
     def _estimate(self, rate, err=0.0):

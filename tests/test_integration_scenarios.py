@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import L4SpanConfig
-from repro.experiments.scenario import ScenarioConfig, build_scenario, run_scenario
+from repro.experiments.scenario import ScenarioConfig, run_scenario
 from repro.experiments.wired import WiredScenarioConfig, run_wired_scenario
 from repro.units import ms
 from repro.workloads.flows import FlowSpec

@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
-from repro.net.checksum import (checksums_valid, internet_checksum,
-                                ip_checksum_of, mark_ce_with_checksum,
+import struct
+
+from repro.net.checksum import (checksums_valid, incremental_checksum_update,
+                                internet_checksum, ip_checksum_of,
+                                ip_tos_word, mark_ce_with_checksum,
                                 recompute_checksums, serialize_ip_header,
-                                tcp_checksum_of, verify_checksum)
+                                tcp_checksum_of, tcp_rewrite_words,
+                                update_checksums_after_ack_rewrite,
+                                verify_checksum)
 from repro.net.ecn import ECN
 from repro.net.packet import AccEcnCounters, make_ack_packet, make_data_packet
 
@@ -56,6 +61,92 @@ def test_tcp_checksum_covers_accecn_fields(five_tuple):
     before = tcp_checksum_of(ack)
     ack.accecn.ce_bytes = 999
     assert tcp_checksum_of(ack) != before
+
+
+def test_checksum_matches_reference_word_loop():
+    """The memoryview fast path equals the classic per-word RFC 1071 loop."""
+    import random
+
+    def reference(data: bytes) -> int:
+        if len(data) % 2:
+            data += b"\x00"
+        total = 0
+        for (word,) in struct.iter_unpack("!H", data):
+            total += word
+            total = (total & 0xFFFF) + (total >> 16)
+        return (~total) & 0xFFFF
+
+    rng = random.Random(1624)
+    for _ in range(500):
+        data = bytes(rng.randrange(256)
+                     for _ in range(rng.randrange(1, 80)))
+        assert internet_checksum(data) == reference(data)
+
+
+def test_checksum_negative_zero_representations_compare_equal():
+    """RFC 1624 §3: 0x0000 and 0xFFFF both encode a zero sum.  Incremental
+    updates and full recomputes may land on different representatives (only
+    reachable for an all-zero header), so comparisons must absorb it."""
+    from repro.net.checksum import checksums_equal, incremental_checksum_update
+
+    # Rewrite a two-word header to all-zero: the full sum of zeros is
+    # 0xFFFF, the incremental route lands on 0x0000.
+    words = (0x0000, 0xE055)
+    checksum = internet_checksum(struct.pack("!2H", *words))
+    updated = incremental_checksum_update(checksum, words, (0, 0))
+    full = internet_checksum(b"\x00\x00\x00\x00")
+    assert {updated, full} == {0x0000, 0xFFFF}
+    assert checksums_equal(updated, full)
+    assert checksums_equal(0x1234, 0x1234)
+    assert not checksums_equal(0x1234, 0x1235)
+    assert not checksums_equal(0x0000, 0x0001)
+
+
+def test_incremental_update_matches_full_recompute(five_tuple):
+    """RFC 1624: updating changed words equals re-summing the header."""
+    packet = make_data_packet(0, five_tuple, 0, 100, ECN.ECT1, 0.0)
+    before = ip_checksum_of(packet)
+    old_word = ip_tos_word(packet)
+    packet.ecn = ECN.CE
+    assert incremental_checksum_update(
+        before, (old_word,), (ip_tos_word(packet),)) == ip_checksum_of(packet)
+
+
+def test_mark_ce_incremental_path_equals_full(five_tuple):
+    """Marking a packet with a stored checksum updates it incrementally
+    to exactly the value a full recompute would produce."""
+    packet = make_data_packet(0, five_tuple, 0, 100, ECN.ECT1, 0.0)
+    recompute_checksums(packet)
+    assert mark_ce_with_checksum(packet, by="aqm")
+    assert packet.payload_info["ip_checksum"] == ip_checksum_of(packet)
+    assert checksums_valid(packet)
+
+
+def test_ack_rewrite_incremental_equals_full(five_tuple):
+    """Short-circuit rewrite keeps checksums exact, with or without a
+    previously stored value, for both AccECN and ECE rewrites."""
+    for precompute in (False, True):
+        data = make_data_packet(0, five_tuple, 0, 100, ECN.ECT1, 0.0)
+        ack = make_ack_packet(data, 100, 0.1, accecn=AccEcnCounters())
+        if precompute:
+            recompute_checksums(ack)
+        old_words = tcp_rewrite_words(ack)
+        ack.accecn.ce_packets = 17
+        ack.accecn.ce_bytes = 17 * 1448
+        ip_sum, tcp_sum = update_checksums_after_ack_rewrite(ack, old_words)
+        assert tcp_sum == tcp_checksum_of(ack)
+        assert ip_sum == ip_checksum_of(ack)
+        assert checksums_valid(ack)
+
+        data = make_data_packet(0, five_tuple, 0, 100, ECN.ECT0, 0.0)
+        ack = make_ack_packet(data, 100, 0.1)
+        if precompute:
+            recompute_checksums(ack)
+        old_words = tcp_rewrite_words(ack)
+        ack.ece = True
+        _ip_sum, tcp_sum = update_checksums_after_ack_rewrite(ack, old_words)
+        assert tcp_sum == tcp_checksum_of(ack)
+        assert checksums_valid(ack)
 
 
 def test_tcp_checksum_covers_ece_flag(five_tuple):

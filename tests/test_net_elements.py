@@ -9,7 +9,6 @@ from repro.net.packet import make_data_packet
 from repro.net.pipe import DelayPipe, VariableDelayPipe
 from repro.net.queueing import DropTailQueue
 from repro.net.router import BottleneckRouter
-from repro.sim.engine import Simulator
 from repro.units import mbps
 
 

@@ -9,12 +9,11 @@ from repro.net.ecn import ECN
 from repro.net.packet import make_data_packet
 from repro.ran.cell import CellConfig
 from repro.ran.f1u import DeliveryStatus, F1UInterface
-from repro.ran.identifiers import DrbConfig, DrbServiceClass, RlcMode
+from repro.ran.identifiers import DrbConfig, DrbServiceClass
 from repro.ran.mac import MacScheduler, SchedulerPolicy
 from repro.ran.pdcp import PdcpEntity
 from repro.ran.phy import AirInterface, AirInterfaceConfig
 from repro.ran.sdap import SdapEntity
-from repro.sim.engine import Simulator
 
 
 class TestCellConfig:

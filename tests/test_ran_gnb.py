@@ -10,10 +10,8 @@ from repro.net.ecn import ECN
 from repro.net.packet import make_ack_packet, make_data_packet
 from repro.ran.core import FiveGCore
 from repro.ran.gnb import GNodeB
-from repro.ran.identifiers import RlcMode
 from repro.ran.marker import NoopMarker
 from repro.ran.ue import UeConfig, UeContext, UplinkModel
-from repro.sim.engine import Simulator
 
 
 def _attach_ue(sim, gnb, ue_id=0, separate_drbs=True):

@@ -1,0 +1,343 @@
+"""Tests for the process-per-cell sharding runtime.
+
+The load-bearing property is the determinism contract: for a fixed spec on a
+static channel, the sharded run produces per-flow metrics identical to the
+single event loop, for any shard count and across repeats.  The conservative
+boundary (core -> batch -> remote core) is additionally exercised directly
+with hand-built shard hosts, since spec-split scenarios keep each flow's
+whole path inside one shard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.presets import make_preset
+from repro.experiments.scenario import run_scenario, ue_ip_address
+from repro.experiments.sharded import (ConservativeSyncError, ShardHost,
+                                       ShardPlanError, boundary_lookahead,
+                                       build_shard_plan, merge_shard_results,
+                                       run_scenario_sharded, sharding_blockers,
+                                       split_spec, window_schedule)
+from repro.experiments.spec import (CellSpec, ScenarioSpec, ShardingSpec,
+                                    UeSpec)
+from repro.net.addresses import FiveTuple
+from repro.net.ecn import ECN
+from repro.net.packet import make_data_packet
+from repro.units import ms
+from repro.workloads.flows import FlowSpec
+
+
+def _two_cell_static(duration: float = 1.5) -> ScenarioSpec:
+    base = make_preset("two-cell-imbalance")
+    return dataclasses.replace(
+        base, duration_s=duration,
+        ues=[dataclasses.replace(ue, channel_profile="static")
+             for ue in base.ues])
+
+
+def _flows_equal(a, b) -> bool:
+    return (a.flow_id == b.flow_id and a.ue_id == b.ue_id
+            and a.cc_name == b.cc_name
+            and a.owd_samples == b.owd_samples
+            and list(a.rtt_samples) == list(b.rtt_samples)
+            and a.goodput_bytes_per_s == b.goodput_bytes_per_s
+            and a.completion_time == b.completion_time
+            and a.congestion_events == b.congestion_events
+            and a.marked_fraction == b.marked_fraction)
+
+
+# --------------------------------------------------------------------- #
+# Planning and spec splitting
+# --------------------------------------------------------------------- #
+class TestShardPlanning:
+    def test_auto_plan_round_robins_cells(self):
+        spec = make_preset("eight-cell")
+        plan = build_shard_plan(spec, shards=3)
+        assert plan.num_shards == 3
+        assert plan.assignment == {c: c % 3 for c in range(8)}
+        assert set().union(*(plan.cells_of(s) for s in range(3))) == set(range(8))
+
+    def test_explicit_plan_renumbers_densely(self):
+        spec = dataclasses.replace(
+            _two_cell_static(),
+            sharding=ShardingSpec(mode="explicit", map={0: 7, 1: 3}))
+        plan = build_shard_plan(spec)
+        assert plan.num_shards == 2
+        assert plan.assignment == {0: 1, 1: 0}
+
+    def test_explicit_plan_missing_cell_rejected(self):
+        spec = dataclasses.replace(
+            _two_cell_static(),
+            sharding=ShardingSpec(mode="explicit", map={0: 0}))
+        with pytest.raises(ValueError, match="misses cell"):
+            spec.validate()
+
+    def test_explicit_plan_unknown_cell_rejected(self):
+        """A typo'd map key must fail fast, not silently reshape the plan."""
+        spec = dataclasses.replace(
+            _two_cell_static(),
+            sharding=ShardingSpec(mode="explicit", map={0: 0, 1: 0, 9: 1}))
+        with pytest.raises(ValueError, match="unknown cell"):
+            spec.validate()
+
+    def test_lookahead_is_min_wan_leg(self):
+        spec = ScenarioSpec(flows=[
+            FlowSpec(flow_id=0, ue_id=0, cc_name="prague", wan_rtt=ms(18)),
+            FlowSpec(flow_id=1, ue_id=1, cc_name="prague")])
+        assert boundary_lookahead(spec) == pytest.approx(ms(9))
+
+    def test_wired_bottleneck_blocks_sharding(self):
+        spec = dataclasses.replace(_two_cell_static(),
+                                   wired_bottleneck_mbps=20.0)
+        assert any("middlebox" in reason
+                   for reason in sharding_blockers(spec))
+        # auto mode falls back to the single loop instead of failing
+        result = run_scenario_sharded(spec, shards=2, inprocess=True)
+        assert len(result.flows) == 4
+        with pytest.raises(ShardPlanError):
+            run_scenario_sharded(
+                dataclasses.replace(
+                    spec, sharding=ShardingSpec(mode="explicit",
+                                                map={0: 0, 1: 1})),
+                inprocess=True)
+
+    def test_explicit_plan_conflicting_shards_override_rejected(self):
+        spec = dataclasses.replace(
+            _two_cell_static(),
+            sharding=ShardingSpec(mode="explicit", map={0: 0, 1: 1}))
+        with pytest.raises(ShardPlanError, match="conflicts"):
+            build_shard_plan(spec, shards=4)
+        # A matching override is redundant but legal.
+        assert build_shard_plan(spec, shards=2).num_shards == 2
+
+    def test_wrapped_ue_address_space_blocks_sharding(self):
+        """>250 UEs alias client IPs; even the single loop only resolves
+        that by misdelivery, so the split refuses instead of diverging."""
+        spec = ScenarioSpec(
+            num_ues=251, duration_s=0.1,
+            cells=[CellSpec(cell_id=0), CellSpec(cell_id=1)])
+        assert any("address space wraps" in reason
+                   for reason in sharding_blockers(spec))
+        assert sharding_blockers(_two_cell_static()) == []
+
+    def test_split_spec_partitions_cells_ues_flows(self):
+        spec = make_preset("eight-cell").validate()
+        plan = build_shard_plan(spec, shards=4)
+        subs = split_spec(spec, plan)
+        assert len(subs) == 4
+        seen_cells, seen_ues, seen_flows = set(), set(), set()
+        for sub in subs:
+            sub.validate()
+            assert sub.seed == spec.seed  # the determinism contract
+            assert not sub.sharding.enabled
+            seen_cells.update(c.cell_id for c in sub.cells)
+            seen_ues.update(u.ue_id for u in sub.ues)
+            seen_flows.update(f.flow_id for f in sub.resolved_flows())
+        assert seen_cells == set(range(8))
+        assert seen_ues == set(range(8))
+        assert seen_flows == set(range(8))
+
+    def test_window_schedule_covers_duration_exactly(self):
+        ends = window_schedule(1.0, 0.19)
+        assert ends[-1] == 1.0
+        assert all(b - a <= 0.19 + 1e-12
+                   for a, b in zip([0.0] + ends, ends))
+
+
+# --------------------------------------------------------------------- #
+# The acceptance property: sharded == single loop, per flow
+# --------------------------------------------------------------------- #
+class TestShardDeterminism:
+    def test_two_cell_sharded_matches_single_loop(self):
+        spec = _two_cell_static()
+        single = run_scenario(spec)
+        sharded = run_scenario_sharded(spec, shards=2, inprocess=True)
+        assert len(single.flows) == len(sharded.flows) == 4
+        for a, b in zip(single.flows, sharded.flows):
+            assert _flows_equal(a, b)
+        assert single.queue_length_samples == sharded.queue_length_samples
+        assert single.queue_length_by_drb == sharded.queue_length_by_drb
+        assert single.per_ue_throughput == sharded.per_ue_throughput
+        assert single.marker_summary == sharded.marker_summary
+        for key, value in single.delay_breakdown.items():
+            assert sharded.delay_breakdown[key] == pytest.approx(value)
+
+    def test_eight_cell_shards4_matches_single_loop(self):
+        """The acceptance criterion: 8-cell preset, 4 shards, identical."""
+        spec = dataclasses.replace(make_preset("eight-cell"), duration_s=1.0)
+        single = run_scenario(spec)
+        sharded = run_scenario_sharded(spec, shards=4, inprocess=True)
+        assert len(sharded.flows) == 8
+        for a, b in zip(single.flows, sharded.flows):
+            assert _flows_equal(a, b)
+        assert single.queue_length_by_drb == sharded.queue_length_by_drb
+
+    def test_sharded_run_reproducible_across_repeats_and_shard_counts(self):
+        spec = dataclasses.replace(make_preset("eight-cell"), duration_s=1.0)
+        runs = [run_scenario_sharded(spec, shards=n, inprocess=True)
+                for n in (2, 2, 4, 8)]
+        reference = runs[0]
+        for other in runs[1:]:
+            for a, b in zip(reference.flows, other.flows):
+                assert _flows_equal(a, b)
+            assert reference.queue_length_by_drb == other.queue_length_by_drb
+
+    def test_explicit_map_matches_auto(self):
+        spec = _two_cell_static()
+        auto = run_scenario_sharded(spec, shards=2, inprocess=True)
+        explicit = run_scenario_sharded(
+            dataclasses.replace(spec, sharding=ShardingSpec(
+                mode="explicit", map={0: 1, 1: 0})),
+            inprocess=True)
+        for a, b in zip(auto.flows, explicit.flows):
+            assert _flows_equal(a, b)
+
+    def test_spec_sharding_block_drives_run_scenario(self):
+        spec = dataclasses.replace(
+            _two_cell_static(), sharding=ShardingSpec(mode="auto", shards=2))
+        import os
+        os.environ["REPRO_SHARD_INPROCESS"] = "1"
+        try:
+            via_spec = run_scenario(spec)
+        finally:
+            del os.environ["REPRO_SHARD_INPROCESS"]
+        plain = run_scenario(dataclasses.replace(spec,
+                                                 sharding=ShardingSpec()))
+        for a, b in zip(plain.flows, via_spec.flows):
+            assert _flows_equal(a, b)
+
+    def test_sharding_spec_json_round_trip(self):
+        spec = dataclasses.replace(
+            _two_cell_static(),
+            sharding=ShardingSpec(mode="explicit", map={0: 0, 1: 1}))
+        rebuilt = ScenarioSpec.from_json(spec.to_json())
+        assert rebuilt == spec
+        assert rebuilt.sharding.map == {0: 0, 1: 1}  # int keys survive JSON
+
+
+# --------------------------------------------------------------------- #
+# Worker-process synchronizer (the real multiprocessing path)
+# --------------------------------------------------------------------- #
+class TestProcessSynchronizer:
+    def test_process_run_matches_inprocess_run(self):
+        spec = _two_cell_static(duration=1.0)
+        inproc = run_scenario_sharded(spec, shards=2, inprocess=True)
+        # Graceful degrade means this passes either way; when processes are
+        # available the comparison exercises pickling and the pipe protocol.
+        procs = run_scenario_sharded(spec, shards=2, inprocess=False)
+        for a, b in zip(inproc.flows, procs.flows):
+            assert _flows_equal(a, b)
+        assert inproc.queue_length_by_drb == procs.queue_length_by_drb
+
+
+# --------------------------------------------------------------------- #
+# The conservative boundary itself (cross-shard packet exchange)
+# --------------------------------------------------------------------- #
+class TestBoundaryExchange:
+    def _host(self, ue_id: int, shard: int) -> ShardHost:
+        sub = ScenarioSpec(
+            name=f"boundary-shard{shard}", num_ues=0, duration_s=1.0,
+            channel_profile="static",
+            cells=[CellSpec(cell_id=shard)],
+            ues=[UeSpec(ue_id=ue_id, cell_id=shard)],
+            flows=[FlowSpec(flow_id=ue_id, ue_id=ue_id, cc_name="prague")])
+        return ShardHost(sub, shard)
+
+    def test_unroutable_packet_crosses_boundary_and_delivers(self):
+        lookahead = 0.02
+        host_a = self._host(ue_id=0, shard=0)
+        host_b = self._host(ue_id=1, shard=1)
+        # A downlink packet for UE 1 entering shard 0's core is unroutable
+        # there: it must land in the boundary buffer, not raise.
+        stray = make_data_packet(
+            flow_id=1, five_tuple=FiveTuple(
+                src_ip="10.0.0.1", src_port=443,
+                dst_ip=ue_ip_address(1), dst_port=50_001, protocol="tcp"),
+            seq=0, payload=1200, ecn=ECN.ECT1, now=0.0)
+        host_a.scenario.sim.schedule_at(0.005, host_a.scenario.core.receive,
+                                        stray)
+        batch = host_a.advance(lookahead)
+        assert [packet for _t, packet in batch] == [stray]
+        handoff = batch[0][0]
+        assert handoff == pytest.approx(0.005)
+        # Deliver on shard B with the router's lookahead stamp.  Shard A's
+        # core never stamped the stray (it had no route), so the stamp
+        # proves shard B's core ingested it, at exactly the delivery time.
+        assert "core_ingress" not in stray.timestamps
+        host_b.advance(lookahead)
+        host_b.inject([(handoff + lookahead, stray)])
+        host_b.advance(2 * lookahead)
+        assert stray.timestamps["core_ingress"] == \
+            pytest.approx(handoff + lookahead)
+
+    def test_unroutable_downlink_fails_loudly_at_the_router(self):
+        """The single loop's core raises for an unknown downlink address;
+        the boundary router must be as loud instead of silently dropping."""
+        from repro.experiments.sharded import _BoundaryRouter
+
+        router = _BoundaryRouter(ip_to_shard={}, flow_to_shard={},
+                                 lookahead=0.02, num_shards=2)
+        stray = make_data_packet(
+            flow_id=99, five_tuple=FiveTuple(
+                src_ip="10.0.0.1", src_port=443, dst_ip="10.45.0.200",
+                dst_port=50_099, protocol="tcp"),
+            seq=0, payload=1200, ecn=ECN.ECT1, now=0.0)
+        with pytest.raises(KeyError, match="no shard can deliver"):
+            router.route([[(0.001, stray)], []])
+
+    def test_collision_free_plan_runs_one_window(self):
+        """No cross-shard route -> unbounded lookahead -> single window
+        (the boundary machinery stays armed but never exchanges)."""
+        from repro.experiments.sharded import _BoundaryRouter
+
+        spec = _two_cell_static().validate()
+        plan = build_shard_plan(spec, shards=2)
+        router = _BoundaryRouter.for_plan(spec, plan, ue_ip=ue_ip_address)
+        assert not router.boundary_required
+
+    def test_late_boundary_packet_raises(self):
+        host = self._host(ue_id=0, shard=0)
+        host.advance(0.04)
+        stray = make_data_packet(
+            flow_id=0, five_tuple=FiveTuple(
+                src_ip="10.0.0.1", src_port=443,
+                dst_ip=ue_ip_address(0), dst_port=50_000, protocol="tcp"),
+            seq=0, payload=1200, ecn=ECN.ECT1, now=0.0)
+        with pytest.raises(ConservativeSyncError):
+            host.inject([(0.01, stray)])
+
+
+# --------------------------------------------------------------------- #
+# Merge step
+# --------------------------------------------------------------------- #
+class TestMergeStep:
+    def test_merged_result_schema_matches_single_loop(self):
+        spec = _two_cell_static(duration=1.0)
+        single = run_scenario(spec)
+        sharded = run_scenario_sharded(spec, shards=2, inprocess=True)
+        assert dataclasses.asdict(single).keys() == \
+            dataclasses.asdict(sharded).keys()
+        assert single.summary().keys() == sharded.summary().keys()
+        # events differ only by the extra per-shard sampler/probe ticks
+        assert sharded.events_processed >= single.events_processed
+
+    def test_merge_orders_flows_and_queues_by_full_spec(self):
+        spec = _two_cell_static(duration=1.0).validate()
+        plan = build_shard_plan(spec, shards=2)
+        subs = split_spec(spec, plan)
+        hosts = [ShardHost(sub, i) for i, sub in enumerate(subs)]
+        for end in window_schedule(spec.duration_s, plan.lookahead):
+            for host in hosts:
+                host.advance(end)
+        # Merge with the shard results deliberately reversed: ordering must
+        # come from the spec, not from worker completion order.
+        results = [host.finish() for host in hosts][::-1]
+        merged = merge_shard_results(spec, plan, results)
+        assert [f.flow_id for f in merged.flows] == \
+            [f.flow_id for f in spec.resolved_flows()]
+        single = run_scenario(spec)
+        assert list(merged.queue_length_by_drb) == \
+            list(single.queue_length_by_drb)

@@ -133,3 +133,26 @@ class TestSimulator:
         sim.schedule(1.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
         sim.run()
         assert times == [1.0]
+
+    def test_peek_time_reports_next_live_event(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        doomed = sim.schedule(0.5, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.peek_time() == 0.5
+        doomed.cancel()
+        assert sim.peek_time() == 2.0
+        assert sim.pending_events == 1
+
+    def test_peek_time_between_windowed_runs(self):
+        """The windowed execution pattern the sharded runtime uses."""
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.75, fired.append, "a")
+        sim.run(until=0.5)
+        assert sim.now == 0.5
+        assert fired == []
+        assert sim.peek_time() == 0.75
+        sim.run(until=1.0)
+        assert fired == ["a"]
+        assert sim.peek_time() is None
