@@ -107,6 +107,54 @@ def test_scenario_8cell_sharded_vs_single_loop(benchmark):
     assert len(sharded.flows) == len(single.flows) == 8
 
 
+def test_scenario_handover_adaptive_vs_fixed_windows(benchmark):
+    """Events/sec of the mobility-coupled sharded run, adaptive vs fixed.
+
+    The handover preset is the first scenario whose shard split genuinely
+    requires the windowed barrier protocol (the moving UE's serving cell
+    and its content server land on different shards), so this benchmark
+    records what the barrier costs and what the adaptive window clock buys
+    back: fixed mode pays one pipe round-trip per lookahead window for the
+    whole run (~316 for 6 s at 19 ms), adaptive mode only inside the
+    schedule-proven coupling intervals.
+    """
+    duration = scaled_duration(4.0)
+    spec = dataclasses.replace(make_preset("handover"), duration_s=duration)
+    # Scale the handover times with the duration (the preset pins them at
+    # t=2/t=4 for its own 6 s run): the UE leaves home at 1/4 of the run
+    # and returns at 3/4, so the coupled phase exists at any bench scale.
+    spec = dataclasses.replace(spec, mobility=dataclasses.replace(
+        spec.mobility,
+        handovers=[dataclasses.replace(spec.mobility.handovers[0],
+                                       time=duration * 0.25),
+                   dataclasses.replace(spec.mobility.handovers[1],
+                                       time=duration * 0.75)]))
+    start = time.perf_counter()
+    fixed = run_scenario_sharded(spec, shards=2, adaptive=False)
+    fixed_elapsed = time.perf_counter() - start
+    fixed_eps = fixed.events_processed / fixed_elapsed
+
+    adaptive = benchmark.pedantic(
+        lambda: run_scenario_sharded(spec, shards=2, adaptive=True),
+        rounds=1, iterations=1)
+    adaptive_eps = adaptive.events_processed / benchmark.stats.stats.min
+    attach_rows(
+        benchmark, [adaptive.summary()],
+        events=adaptive.events_processed,
+        events_per_sec_best=adaptive_eps,
+        fixed_windows_events_per_sec=fixed_eps,
+        adaptive_windows=adaptive.sharding_stats["windows"],
+        fixed_windows=fixed.sharding_stats["windows"],
+        boundary_exchanges=adaptive.sharding_stats["routed_packets"],
+        shards=2)
+    # Static channel: the window policy must not change what was simulated.
+    assert adaptive.total_goodput_mbps() == fixed.total_goodput_mbps()
+    assert adaptive.sharding_stats["windows"] < \
+        fixed.sharding_stats["windows"]
+    assert adaptive.sharding_stats["routed_packets"] > 0
+    assert len(adaptive.handovers) == 2
+
+
 def test_scenario_events_deterministic():
     """The same spec processes the identical event count on repeat runs."""
     first = run_scenario(_prague_config(2.0))

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Check the markdown docs for broken relative links and anchors.
+
+Scans ``docs/*.md``, ``README.md`` and ``ROADMAP.md`` for inline markdown
+links. External links (``http(s)://``) are not fetched — CI must not
+depend on the network — but every relative link must point at an existing
+file, and every ``#fragment`` into a markdown file must match one of its
+headings (GitHub anchor style).
+
+Usage:
+    python scripts/check_docs.py          # exit 1 on any broken link
+
+No repro imports — runs on a bare CPython with nothing installed (the CI
+``docs`` job uses it before any dependency install).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Files scanned for links.
+SOURCES = [REPO_ROOT / "README.md", REPO_ROOT / "ROADMAP.md",
+           *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_anchor(heading: str) -> str:
+    """The anchor GitHub generates for a heading."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    text = path.read_text(encoding="utf-8")
+    return {github_anchor(match) for match in _HEADING.findall(text)}
+
+
+def check_file(source: Path) -> list[str]:
+    errors = []
+    text = source.read_text(encoding="utf-8")
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = (source.parent / path_part).resolve() if path_part \
+            else source
+        if not resolved.exists():
+            errors.append(f"{source.relative_to(REPO_ROOT)}: broken link "
+                          f"-> {target} ({path_part} does not exist)")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in anchors_of(resolved):
+                errors.append(
+                    f"{source.relative_to(REPO_ROOT)}: dead anchor "
+                    f"-> {target} (no heading '#{fragment}' in "
+                    f"{resolved.name})")
+    return errors
+
+
+def main() -> int:
+    missing = [str(p) for p in SOURCES if not p.exists()]
+    if missing:
+        print(f"missing doc file(s): {missing}", file=sys.stderr)
+        return 1
+    errors = [error for source in SOURCES for error in check_file(source)]
+    for error in errors:
+        print(f"BROKEN  {error}")
+    checked = len(SOURCES)
+    if errors:
+        print(f"{len(errors)} broken link(s) across {checked} files")
+        return 1
+    print(f"docs link check OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,11 +49,16 @@ def _build_spec(args: argparse.Namespace):
         # The spec's legacy ``l4span`` boolean would otherwise outrank the
         # explicitly requested marker.
         overrides["l4span"] = None
-    if args.shards is not None:
+    if args.shards is not None or args.shard_windows is not None:
         from repro.experiments.spec import ShardingSpec
-        overrides["sharding"] = (
-            ShardingSpec(mode="auto", shards=args.shards)
-            if args.shards > 1 else ShardingSpec(mode="off"))
+        sharding = spec.sharding
+        if args.shards is not None:
+            sharding = (ShardingSpec(mode="auto", shards=args.shards)
+                        if args.shards > 1 else ShardingSpec(mode="off"))
+        if args.shard_windows is not None:
+            sharding = dataclasses.replace(
+                sharding, adaptive_windows=args.shard_windows == "adaptive")
+        overrides["sharding"] = sharding
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
     if spec.flows is not None:
@@ -180,6 +185,11 @@ def main(argv: list[str] | None = None) -> int:
         "--shards", type=int, default=None, metavar="N",
         help="shard a multi-cell scenario over N worker processes "
              "(1 disables; see the README's Parallelism section)")
+    scenario.add_argument(
+        "--shard-windows", choices=("adaptive", "fixed"), default=None,
+        help="barrier window policy for mobility-coupled sharded runs "
+             "(default: the spec's sharding.adaptive_windows, i.e. "
+             "adaptive)")
     scenario.add_argument("--json", action="store_true",
                           help="print the summary as JSON instead of a table")
     scenario.add_argument("--dump-spec", action="store_true",

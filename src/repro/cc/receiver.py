@@ -50,6 +50,35 @@ class TcpReceiver:
         self.ce_packets_seen = 0
 
     # ------------------------------------------------------------------ #
+    # Handover state transfer
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> dict:
+        """Snapshot the transport state a handover must carry to the target.
+
+        The snapshot is complete: importing it into a freshly constructed
+        receiver reproduces this receiver exactly, which is what lets a
+        handed-over flow's receiver be rebuilt on another shard without the
+        sender noticing (cumulative ACK point and AccECN counters survive).
+        """
+        return {"rcv_nxt": self.rcv_nxt,
+                "out_of_order": list(self._out_of_order),
+                "counters": self.counters.copy(),
+                "ece_latched": self.ece_latched,
+                "received_packets": self.received_packets,
+                "received_bytes": self.received_bytes,
+                "ce_packets_seen": self.ce_packets_seen}
+
+    def import_state(self, state: dict) -> None:
+        """Adopt a peer receiver's exported state (handover arrival)."""
+        self.rcv_nxt = state["rcv_nxt"]
+        self._out_of_order = list(state["out_of_order"])
+        self.counters = state["counters"].copy()
+        self.ece_latched = state["ece_latched"]
+        self.received_packets = state["received_packets"]
+        self.received_bytes = state["received_bytes"]
+        self.ce_packets_seen = state["ce_packets_seen"]
+
+    # ------------------------------------------------------------------ #
     def receive(self, packet: Packet) -> None:
         if packet.is_ack:
             return
@@ -122,6 +151,20 @@ class UdpFeedbackReceiver:
         self.received_bytes = 0
         self.highest_seq = 0
 
+    def export_state(self) -> dict:
+        """Snapshot the feedback state a handover carries to the target."""
+        return {"counters": self.counters.copy(),
+                "received_packets": self.received_packets,
+                "received_bytes": self.received_bytes,
+                "highest_seq": self.highest_seq}
+
+    def import_state(self, state: dict) -> None:
+        """Adopt a peer receiver's exported state (handover arrival)."""
+        self.counters = state["counters"].copy()
+        self.received_packets = state["received_packets"]
+        self.received_bytes = state["received_bytes"]
+        self.highest_seq = state["highest_seq"]
+
     def receive(self, packet: Packet) -> None:
         if packet.is_ack:
             return
@@ -166,6 +209,29 @@ class ScreamReceiver:
         self._process = PeriodicProcess(sim, feedback_interval,
                                         self._emit_feedback,
                                         name=f"scream-fb-{flow_id}")
+
+    def export_state(self) -> dict:
+        """Snapshot the feedback state a handover carries to the target.
+
+        The periodic feedback process itself is *not* exported: a receiver
+        rebuilt at handover time starts a fresh feedback clock, identically
+        in the single loop and on a shard.
+        """
+        return {"counters": self.counters.copy(),
+                "received_packets": self.received_packets,
+                "received_bytes": self.received_bytes,
+                "highest_seq": self.highest_seq,
+                "last_packet": self._last_packet,
+                "new_data": self._new_data}
+
+    def import_state(self, state: dict) -> None:
+        """Adopt a peer receiver's exported state (handover arrival)."""
+        self.counters = state["counters"].copy()
+        self.received_packets = state["received_packets"]
+        self.received_bytes = state["received_bytes"]
+        self.highest_seq = state["highest_seq"]
+        self._last_packet = state["last_packet"]
+        self._new_data = state["new_data"]
 
     def receive(self, packet: Packet) -> None:
         if packet.is_ack:

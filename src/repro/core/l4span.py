@@ -80,6 +80,10 @@ class L4SpanLayer:
         self._drbs: dict[DrbKey, DrbState] = {}
         self._flows: dict[FiveTuple, FlowRecord] = {}
         self._last_purge = 0.0
+        # Attach tag per UE ("#a1" after its first handover): qualifies the
+        # marking stream of bearers created after a UE arrives here, so the
+        # draw sequence matches between single-loop and sharded runs.
+        self._ue_stream_tags: dict[UeId, str] = {}
         # Aggregate statistics.
         self.downlink_packets = 0
         self.uplink_packets = 0
@@ -93,17 +97,22 @@ class L4SpanLayer:
     # ------------------------------------------------------------------ #
     # State accessors
     # ------------------------------------------------------------------ #
+    def set_ue_stream_tag(self, ue_id: UeId, tag: str) -> None:
+        """Qualify future marking streams of ``ue_id`` (handover arrival)."""
+        self._ue_stream_tags[ue_id] = tag
+
     def drb_state(self, ue_id: UeId, drb_id: DrbId) -> DrbState:
         """Get or create the per-bearer state."""
         key = DrbKey(ue_id, drb_id)
         state = self._drbs.get(key)
         if state is None:
+            tag = self._ue_stream_tags.get(ue_id, "")
             state = DrbState(key=key,
                              profile=DrbProfile(self.config.profile_horizon),
                              estimator=EgressRateEstimator(
                                  self.config.estimation_window),
                              mark_rng=self._sim.random.stream(
-                                 f"l4span-mark-{key}"))
+                                 f"l4span-mark-{key}{tag}"))
             self._drbs[key] = state
         return state
 

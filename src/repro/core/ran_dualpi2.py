@@ -53,10 +53,15 @@ class RanDualPi2Marker:
         self.l4s_threshold = l4s_threshold
         self.classic_target = classic_target
         self._drbs: dict[DrbKey, _DualPi2DrbState] = {}
+        self._ue_stream_tags: dict[UeId, str] = {}
         self.downlink_packets = 0
         self.uplink_packets = 0
         self.feedback_messages = 0
         self.marked_packets = 0
+
+    def set_ue_stream_tag(self, ue_id: UeId, tag: str) -> None:
+        """Qualify future marking streams of ``ue_id`` (handover arrival)."""
+        self._ue_stream_tags[ue_id] = tag
 
     # ------------------------------------------------------------------ #
     def _state(self, ue_id: UeId, drb_id: DrbId) -> _DualPi2DrbState:
@@ -67,7 +72,8 @@ class RanDualPi2Marker:
             state.core.l4s_threshold = self.l4s_threshold
             state.core.target = self.classic_target
             state.rng = self._sim.random.stream(
-                f"ran-dualpi2-{ue_id}-{drb_id}")
+                f"ran-dualpi2-{ue_id}-{drb_id}"
+                f"{self._ue_stream_tags.get(ue_id, '')}")
             self._drbs[key] = state
         return state
 

@@ -16,15 +16,17 @@ historical alias) and wires, for each flow:
 
 One scenario may hold several cells (gNBs) sharing the single 5G core; each
 UE attaches to the cell named by its :class:`~repro.experiments.spec.UeSpec`,
-with its own channel profile, SNR and RLC configuration.  The builder runs
-the discrete-event simulation for the configured duration, collecting
-one-way delays, RTTs, throughput, RLC queue occupancy and the delay
-breakdown.
+with its own channel profile, SNR and RLC configuration — and may *move*
+between cells mid-run when the spec's ``mobility`` block is enabled (a
+:class:`~repro.ran.mobility.MobilityManager` executes the handovers and the
+result carries one record per handover).  The builder runs the
+discrete-event simulation for the configured duration, collecting one-way
+delays, RTTs, throughput, RLC queue occupancy and the delay breakdown.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cc.base import Sender
@@ -46,6 +48,7 @@ from repro.ran.core import FiveGCore
 from repro.ran.gnb import GNodeB
 from repro.ran.identifiers import RlcMode
 from repro.ran.mac import resolve_scheduler
+from repro.ran.mobility import MobilityManager, MobilityTopology
 from repro.ran.ue import UeConfig, UeContext
 from repro.sim.engine import Simulator
 from repro.units import mbps, to_mbps
@@ -100,6 +103,13 @@ class ScenarioResult:
     rate_estimation_errors: list[float]
     duration_s: float
     events_processed: int
+    #: One dict per executed handover (``ue_id``, ``time``, ``from_cell``,
+    #: ``to_cell``, forward/flush counts, ``completed_at`` and the measured
+    #: per-flow ``data_gap_s``); empty without mobility.
+    handovers: list = field(default_factory=list)
+    #: Synchronizer statistics of a sharded run (window count, boundary
+    #: exchanges, adaptive flag); empty for single-loop runs.
+    sharding_stats: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     def flow(self, flow_id: int) -> FlowResult:
@@ -213,8 +223,16 @@ class BuiltScenario:
         self.queue_sampler = QueueSampler(self.sim, list(self.gnbs.values()),
                                           interval=config.queue_sample_interval)
         self.rate_probe: Optional[RateEstimationProbe] = None
+        self._owd_callbacks: dict[int, object] = {}
         self._build_ues()
         self._build_flows()
+        #: Executes the spec's handover schedule; None without mobility.
+        #: The sharded runtime builds its own manager per shard instead
+        #: (sub-specs carry mobility stripped), so this stays single-loop.
+        self.mobility: Optional[MobilityManager] = None
+        if config.mobility.enabled:
+            self.mobility = MobilityManager(
+                self, mobility_topology(config), config.mobility)
         if config.rate_probe and isinstance(self.marker, L4SpanLayer):
             self.rate_probe = RateEstimationProbe(self.sim, self.gnb,
                                                   self.marker)
@@ -226,26 +244,45 @@ class BuiltScenario:
     def _ue_ip(self, ue_id: int) -> str:
         return ue_ip_address(ue_id)
 
+    def build_mobile_ue(self, ue_spec: UeSpec, cell_id: int,
+                        stream_tag: str = "") -> UeContext:
+        """Build a UE context attached to ``cell_id``'s radio environment.
+
+        ``stream_tag`` qualifies every per-UE random stream; the initial
+        attach uses ``""`` (the historical names), handover re-attachments
+        use ``"#aN"`` so the draw sequences are identical between the
+        single loop and any shard split.
+        """
+        gnb = self.gnbs[cell_id]
+        channel = make_channel(
+            ue_spec.channel_profile,
+            rng=self.sim.random.stream(
+                f"channel-ue{ue_spec.ue_id}{stream_tag}"),
+            mean_snr_db=ue_spec.mean_snr_db,
+            carrier_ghz=gnb.cell.carrier_ghz,
+            ue_index=ue_spec.ue_id)
+        rlc_mode = (RlcMode.AM if ue_spec.rlc_mode.lower() == "am"
+                    else RlcMode.UM)
+        ue_config = UeConfig(ue_id=ue_spec.ue_id,
+                             channel_profile=ue_spec.channel_profile,
+                             rlc_mode=rlc_mode,
+                             rlc_queue_sdus=ue_spec.rlc_queue_sdus,
+                             separate_drbs=ue_spec.separate_drbs)
+        return UeContext(self.sim, ue_config, channel, stream_tag=stream_tag)
+
+    def register_ue_route(self, ue_id: int, gnb: GNodeB) -> None:
+        """(Re-)point the core's downlink route for a UE at ``gnb``."""
+        self.core.register_ue_address(self._ue_ip(ue_id), gnb, ue_id)
+
+    def invalidate_samplers(self) -> None:
+        """Topology changed (handover): periodic samplers must re-scan."""
+        self.queue_sampler.invalidate()
+
     def _build_ues(self) -> None:
         for ue_spec in self.ue_specs.values():
-            gnb = self.gnbs[ue_spec.cell_id]
-            channel = make_channel(
-                ue_spec.channel_profile,
-                rng=self.sim.random.stream(f"channel-ue{ue_spec.ue_id}"),
-                mean_snr_db=ue_spec.mean_snr_db,
-                carrier_ghz=gnb.cell.carrier_ghz,
-                ue_index=ue_spec.ue_id)
-            rlc_mode = (RlcMode.AM if ue_spec.rlc_mode.lower() == "am"
-                        else RlcMode.UM)
-            ue_config = UeConfig(ue_id=ue_spec.ue_id,
-                                 channel_profile=ue_spec.channel_profile,
-                                 rlc_mode=rlc_mode,
-                                 rlc_queue_sdus=ue_spec.rlc_queue_sdus,
-                                 separate_drbs=ue_spec.separate_drbs)
-            ue = UeContext(self.sim, ue_config, channel)
-            gnb.attach_ue(ue)
-            self.core.register_ue_address(self._ue_ip(ue_spec.ue_id), gnb,
-                                          ue_spec.ue_id)
+            ue = self.build_mobile_ue(ue_spec, ue_spec.cell_id)
+            self.gnbs[ue_spec.cell_id].attach_ue(ue)
+            self.register_ue_route(ue_spec.ue_id, self.gnbs[ue_spec.cell_id])
             self.ues[ue_spec.ue_id] = ue
 
     def _forward_entry_sink(self):
@@ -281,20 +318,33 @@ class BuiltScenario:
             sender = make_sender(spec.cc_name, self.sim, spec.flow_id,
                                  five_tuple, path=forward,
                                  flow_bytes=spec.flow_bytes)
-            ue = self.ues[spec.ue_id]
-            owd_cb = self._make_owd_callback(spec)
-            receiver = make_receiver(spec.cc_name, self.sim, spec.flow_id,
-                                     send_feedback=ue.send_uplink,
-                                     owd_callback=owd_cb)
-            ue.register_receiver(spec.flow_id, receiver)
+            self.senders[spec.flow_id] = sender
+            self.attach_flow_endpoint(spec, self.ues[spec.ue_id])
             reverse = DelayPipe(self.sim, one_way, sink=_SenderAdapter(sender),
                                 name=f"wan-ul-{spec.flow_id}")
             self.core.register_uplink_route(spec.flow_id, reverse)
-            self.senders[spec.flow_id] = sender
-            self.receivers[spec.flow_id] = receiver
             self.sim.schedule_at(spec.start_time, sender.start)
             if spec.stop_time is not None:
                 self.sim.schedule_at(spec.stop_time, sender.stop)
+
+    def attach_flow_endpoint(self, spec: FlowSpec, ue: UeContext):
+        """Create (or re-create, on handover) a flow's client-side receiver.
+
+        The receiver is registered on ``ue`` and recorded in
+        :attr:`receivers`; its measurement callback feeds this scenario's
+        collectors.  Mobility re-invokes this at every arrival -- the fresh
+        receiver then adopts the transferred transport state.
+        """
+        owd_cb = self._owd_callbacks.get(spec.flow_id)
+        if owd_cb is None:
+            owd_cb = self._make_owd_callback(spec)
+            self._owd_callbacks[spec.flow_id] = owd_cb
+        receiver = make_receiver(spec.cc_name, self.sim, spec.flow_id,
+                                 send_feedback=ue.send_uplink,
+                                 owd_callback=owd_cb)
+        ue.register_receiver(spec.flow_id, receiver)
+        self.receivers[spec.flow_id] = receiver
+        return receiver
 
     def _make_owd_callback(self, spec: FlowSpec):
         def callback(owd: float, packet: Packet) -> None:
@@ -328,6 +378,8 @@ class BuiltScenario:
         for gnb in self.gnbs.values():
             gnb.stop()
         self.queue_sampler.stop()
+        if self.mobility is not None:
+            self.mobility.stop()
         if self.rate_probe is not None:
             self.rate_probe.stop()
 
@@ -338,6 +390,7 @@ class BuiltScenario:
         return self.collect(events)
 
     def collect(self, events: int) -> ScenarioResult:
+        """Package the collectors' measurements into a ScenarioResult."""
         config = self.config
         flow_results: list[FlowResult] = []
         for spec in self.flow_specs:
@@ -370,6 +423,12 @@ class BuiltScenario:
             per_ue.setdefault(spec.ue_id, 0.0)
             per_ue[spec.ue_id] += self.throughput.total_bytes.get(
                 spec.flow_id, 0) / max(config.duration_s, 1e-9)
+        handovers = []
+        if self.mobility is not None:
+            handovers = [dict(record) for record in self.mobility.records]
+            attach_data_gaps(
+                handovers, self.owd.sample_times,
+                {spec.flow_id: spec.ue_id for spec in self.flow_specs})
         return ScenarioResult(
             config=config,
             flows=flow_results,
@@ -381,7 +440,53 @@ class BuiltScenario:
             rate_estimation_errors=(self.rate_probe.errors_percent
                                     if self.rate_probe is not None else []),
             duration_s=config.duration_s,
-            events_processed=events)
+            events_processed=events,
+            handovers=handovers)
+
+
+def mobility_topology(spec: ScenarioSpec) -> MobilityTopology:
+    """Resolve a spec's mobility block into the manager's full-scenario view.
+
+    Shared by the single loop (``BuiltScenario``) and the sharded runtime
+    (which builds one manager per shard from the *full* spec).
+    """
+    itineraries: dict[int, list[tuple[float, int]]] = {}
+    ue_specs = {ue.ue_id: ue for ue in spec.resolved_ues()}
+    for ue_id, ue in ue_specs.items():
+        itineraries[ue_id] = [(0.0, ue.cell_id)]
+    for ho in spec.mobility.handovers:
+        itineraries[ho.ue_id].append((ho.time, ho.target_cell))
+    flows_by_ue: dict[int, list[FlowSpec]] = {}
+    for flow in spec.resolved_flows():
+        flows_by_ue.setdefault(flow.ue_id, []).append(flow)
+    return MobilityTopology(
+        itineraries=itineraries, ue_specs=ue_specs, flows_by_ue=flows_by_ue,
+        cells_order=[cell.cell_id for cell in spec.resolved_cells()])
+
+
+def attach_data_gaps(handovers: list[dict],
+                     owd_times_by_flow: dict[int, list[float]],
+                     flow_ues: dict[int, int]) -> None:
+    """Annotate handover records with the measured per-flow delivery gap.
+
+    For each handover at time ``t`` and each flow terminating at the moved
+    UE, the gap is the span between the last delivery before ``t`` and the
+    first delivery at or after ``t`` -- the observable service interruption.
+    Computed from the (post-warmup) one-way-delay sample times, identically
+    for single-loop and merged sharded results.
+    """
+    for record in handovers:
+        gaps: dict[int, float] = {}
+        t = record["time"]
+        for flow_id, ue_id in flow_ues.items():
+            if ue_id != record["ue_id"]:
+                continue
+            times = owd_times_by_flow.get(flow_id, [])
+            before = max((x for x in times if x < t), default=None)
+            after = min((x for x in times if x >= t), default=None)
+            if before is not None and after is not None:
+                gaps[flow_id] = after - before
+        record["data_gap_s"] = gaps
 
 
 class _SenderAdapter:

@@ -8,18 +8,39 @@ decomposition distributed ns-3/OMNeT++ deployments use.
 
 Why it is exact
 ---------------
-The only path between two cells is WAN → 5G core → RAN, and the core adds a
-fixed processing delay with no queueing, so a cell can never observe another
-cell's events closer than one WAN leg away.  Each shard therefore advances in
-**lookahead windows** equal to the minimum WAN one-way delay of any flow: at
-every window boundary the shards exchange timestamped packet batches (the
-"core/WAN boundary"), and a packet handed off inside window ``[t, t+L]`` is
-delivered at ``handoff + L >= t + L``, i.e. never inside a window the
-receiving shard has already simulated.  No rollback is ever needed.  In the
-common case the split proves no packet can cross shards at all (every
-flow's server, WAN pipes, core routes and UE are co-located), the lookahead
-over zero inter-shard links is unbounded, and each shard runs to the
-horizon in one window with no barrier exchanges.
+The only paths between two cells are WAN → 5G core → RAN and (with
+mobility) the handover transfer/forwarding path, and every one of them has
+at least one conservative **lookahead** of latency — the minimum WAN
+one-way delay of any flow (handover interruption is validated to be no
+shorter).  Shards advance in windows bounded by that lookahead; at every
+window boundary they exchange timestamped batches at the core/WAN boundary.
+Each boundary item carries its *true* single-loop delivery time (a downlink
+packet is handed off at WAN-pipe entry stamped ``entry + wan_leg``, an
+uplink ACK at core egress stamped ``egress + processing + wan_leg``), which
+is always at least one lookahead in the receiver's future — so no shard
+ever receives an event inside a window it has already simulated and no
+rollback is ever needed.  In the boundary-free case (no mobility, no
+address aliasing) the split proves no packet can cross shards at all, the
+lookahead over zero inter-shard links is unbounded, and each shard runs to
+the horizon in one window with no barrier exchanges.
+
+Mobility coupling and adaptive windows
+--------------------------------------
+Inter-cell handover (:mod:`repro.ran.mobility`) is what makes the barrier
+loop load-bearing: a UE's serving cell — and with it its whole RAN-side
+termination — can live on a different shard than its content server and WAN
+pipes.  While it does, every data packet, ACK, handover transfer and
+forwarded SDU of its flows crosses through :class:`_BoundaryRouter`.  The
+synchronizer exploits the *schedule*: outside the union of cross-shard
+serving intervals (padded by the interruption window and proven drained by
+per-shard in-flight reports) no boundary traffic can exist, so adaptive
+mode (``sharding.adaptive_windows``, the default) jumps the barrier
+straight to the next coupling interval — and inside coupled phases it still
+widens windows past ``W + lookahead`` when every shard's next event
+(:meth:`repro.sim.engine.Simulator.peek_time`) and every in-flight delivery
+provably allow it.  Fixed mode runs the classic one-pipe-round-trip-per-
+lookahead cadence (~316 exchanges for 6 s at 19 ms) and exists as the
+benchmark baseline.
 
 Determinism contract
 --------------------
@@ -27,17 +48,21 @@ Every random stream in a scenario is named per cell, per UE, per bearer or
 per flow (``channel-ue3``, ``air-ue3``, ``l4span-mark-ue3/drb1``, ...), and
 shard simulators reuse the *master* seed, so a stream's seed and draw
 sequence are identical whether its cell runs in the shared loop or in any
-shard.  Consequently a sharded run is deterministic for a fixed shard map,
-reproducible across repeats and shard counts, and — on a static channel —
-produces **per-flow metrics identical to the single-loop run** (the fading
-profiles are identical too).  Scenarios the split cannot reproduce exactly
-are refused up front by :func:`sharding_blockers` and fall back to the
-single loop: cells coupled through a wired middlebox, and UE populations
-whose client address space wraps (>250 UEs sharing an IP, which even the
-single loop only resolves by last-registration-wins misdelivery).
+shard.  Handover re-attachments create *fresh attach-qualified* streams
+(``air-ue3#a1``) on whichever loop hosts the target cell, preserving the
+contract under mobility.  Consequently a sharded run is deterministic for a
+fixed shard map, reproducible across repeats and shard counts, and — on a
+static channel — produces **per-flow metrics identical to the single-loop
+run**.  Scenarios the split cannot reproduce exactly are refused up front
+by :func:`sharding_blockers` and fall back to the single loop: cells
+coupled through a wired middlebox, wrapped >250-UE address spaces,
+SNR-triggered mobility (decided mid-run) and handover interruptions shorter
+than the lookahead.
 
 The per-shard collector outputs are recombined by the merge helpers in
-:mod:`repro.metrics.collectors` into the exact single-loop report schema.
+:mod:`repro.metrics.collectors` into the exact single-loop report schema;
+a mobile flow's samples, collected on every shard that served it, are
+re-merged in delivery-time order.
 """
 
 from __future__ import annotations
@@ -46,17 +71,21 @@ import dataclasses
 import multiprocessing
 import os
 import warnings
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.experiments.scenario import (BuiltScenario, FlowResult,
                                         ScenarioResult, ScenarioSpec,
-                                        build_scenario, ue_ip_address)
-from repro.experiments.spec import ShardingSpec
+                                        attach_data_gaps, build_scenario,
+                                        mobility_topology, ue_ip_address)
+from repro.experiments.spec import MobilitySpec, ShardingSpec
 from repro.metrics.collectors import (DelayBreakdownAccumulator,
+                                      ThroughputCollector, TimeSeries,
                                       merge_numeric_summaries,
                                       merge_sample_dicts)
 from repro.net.packet import Packet
+from repro.ran.mobility import (HandoverTransfer, ItineraryLookup,
+                                MobilityManager, merge_handover_records)
 
 #: Environment variable forcing the in-process synchronizer (no worker
 #: processes), e.g. on sandboxes that cannot fork.
@@ -115,6 +144,18 @@ def sharding_blockers(spec: ScenarioSpec) -> list[str]:
         # reproduce that byte-for-byte when the colliding UEs land on
         # different shards.  Refuse rather than silently diverge.
         blockers.append("UE address space wraps (>250 UEs share an IP)")
+    if spec.mobility.enabled:
+        if spec.mobility.mode == "snr":
+            # SNR triggers are decided mid-run from channel draws; the
+            # boundary router cannot route by a schedule that does not
+            # exist yet.
+            blockers.append("snr-triggered handovers are decided mid-run")
+        elif spec.mobility.interruption_s < boundary_lookahead(spec) - 1e-12:
+            # The handover transfer crosses shards one lookahead after the
+            # detach; the target must still be inside its interruption
+            # window when it lands, or receiver state would arrive late.
+            blockers.append("handover interruption is shorter than the "
+                            "conservative lookahead window")
     return blockers
 
 
@@ -164,8 +205,12 @@ def split_spec(spec: ScenarioSpec, plan: ShardPlan) -> list[ScenarioSpec]:
 
     Each sub-spec keeps the master seed (the determinism contract above),
     carries the fully resolved cells/UEs/flows of its shard, and has
-    sharding switched off.  Only the shard hosting the scenario's first cell
-    keeps ``rate_probe`` (the single loop probes the first cell only).
+    sharding *and mobility* switched off — a mobile UE's flows, senders and
+    WAN pipes live on its **home** shard (the shard of its initial cell),
+    and the shard-local :class:`~repro.ran.mobility.MobilityManager` built
+    from the full spec executes arrivals/departures against the local
+    cells.  Only the shard hosting the scenario's first cell keeps
+    ``rate_probe`` (the single loop probes the first cell only).
     """
     cells = spec.resolved_cells()
     ues = spec.resolved_ues()
@@ -187,15 +232,54 @@ def split_spec(spec: ScenarioSpec, plan: ShardPlan) -> list[ScenarioSpec]:
             ues=shard_ues,
             flows=shard_flows,
             rate_probe=spec.rate_probe and first_cell in shard_cell_ids,
-            sharding=ShardingSpec(mode="off")))
+            sharding=ShardingSpec(mode="off"),
+            mobility=MobilitySpec()))
     return subs
 
 
-def window_schedule(duration: float, lookahead: float) -> list[float]:
-    """The shared list of window-end times every participant iterates.
+def mobility_coupling_intervals(spec: ScenarioSpec,
+                                plan: ShardPlan) -> list[tuple[float, float]]:
+    """Time intervals during which cross-shard boundary traffic can exist.
 
-    Computed once and distributed so coordinator and workers can never drift
-    apart through repeated floating-point accumulation.
+    A mobile UE couples shards exactly while it is served away from its
+    home shard: downlink deliveries into the serving shard happen inside
+    the serving segment (the WAN-entry cut routes by arrival time), and the
+    handover transfer / forwarded SDUs / uplink tail extend at most
+    ``max(lookahead, interruption)`` past it — the in-flight uplink tail
+    beyond that is covered dynamically by the per-shard drained reports.
+    Returns merged, sorted ``(start, end)`` pairs; empty means every split
+    of this spec is boundary-free (``split_spec`` detects mobility-coupled
+    splits through exactly this function).
+    """
+    if not spec.mobility.enabled:
+        return []
+    topology = mobility_topology(spec)
+    horizon = spec.duration_s
+    pad = max(plan.lookahead, spec.mobility.interruption_s)
+    raw: list[tuple[float, float]] = []
+    for ue_id, itinerary in topology.itineraries.items():
+        home = plan.assignment[itinerary[0][1]]
+        for index, (start, cell) in enumerate(itinerary):
+            end = (itinerary[index + 1][0] if index + 1 < len(itinerary)
+                   else horizon)
+            if plan.assignment[cell] != home and start < horizon:
+                raw.append((start, min(end, horizon) + pad))
+    raw.sort()
+    merged: list[tuple[float, float]] = []
+    for start, end in raw:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def window_schedule(duration: float, lookahead: float) -> list[float]:
+    """The fixed-cadence list of window-end times (one per lookahead).
+
+    Retained for direct window-by-window driving in tests; the runtime
+    itself steps through :class:`_SyncPlan`, whose fixed mode reproduces
+    exactly this recurrence.
     """
     ends = []
     t = 0.0
@@ -205,20 +289,97 @@ def window_schedule(duration: float, lookahead: float) -> list[float]:
     return ends
 
 
+class _SyncPlan:
+    """Decides how far all shards may advance before the next barrier.
+
+    ``fixed`` mode steps ``W -> min(horizon, W + lookahead)``.  Adaptive
+    mode additionally (a) jumps across phases where the mobility schedule
+    (plus the shards' drained reports) proves no boundary traffic can
+    exist, and (b) inside coupled phases widens past the fixed step when
+    every shard's next pending event and every in-flight boundary delivery
+    are provably later — any future handoff happens at an event ≥ that
+    floor and is delivered ≥ one lookahead after it.
+    """
+
+    def __init__(self, horizon: float, lookahead: float,
+                 boundary_required: bool, adaptive: bool,
+                 coupling: list[tuple[float, float]]) -> None:
+        self.horizon = horizon
+        self.lookahead = lookahead
+        self.boundary_required = boundary_required
+        self.adaptive = adaptive
+        self.coupling = coupling
+        self.windows = 0
+
+    def first_window(self) -> float:
+        """Where the first barrier lands (the horizon when boundary-free)."""
+        if not self.boundary_required:
+            return self.horizon
+        if self.adaptive:
+            jump = self._jump_target(0.0)
+            if jump is not None:
+                return jump
+        return min(self.horizon, self.lookahead)
+
+    def next_window(self, now: float, peeks: list[Optional[float]],
+                    min_deliver: Optional[float], all_idle: bool) -> float:
+        """The next barrier after ``now`` given the shards' reports."""
+        if now >= self.horizon:
+            return now
+        if self.adaptive and all_idle:
+            jump = self._jump_target(now)
+            if jump is not None:
+                return jump
+        base = now + self.lookahead
+        if self.adaptive:
+            floors = [p for p in peeks if p is not None]
+            if min_deliver is not None:
+                floors.append(min_deliver)
+            if floors:
+                base = max(base, min(floors) + self.lookahead)
+        return min(self.horizon, base)
+
+    def _jump_target(self, now: float) -> Optional[float]:
+        """Next barrier when no coupling overlaps ``now``; None if coupled."""
+        nxt = None
+        for start, end in self.coupling:
+            if start <= now < end:
+                return None
+            if start > now:
+                nxt = start
+                break
+        target = self.horizon if nxt is None else min(nxt, self.horizon)
+        return target if target > now else None
+
+
 # --------------------------------------------------------------------- #
 # One shard: a built sub-scenario advanced window by window
 # --------------------------------------------------------------------- #
 class _BoundaryBuffer:
-    """PacketSink collecting this shard's outbound cross-boundary packets."""
+    """Collects this shard's outbound cross-boundary items.
+
+    Two item shapes share the buffer: legacy ``(handoff_time, packet)``
+    pairs from the core's ``remote_sink`` (routed by the coordinator's
+    address tables, delivered ``handoff + lookahead``) and pre-routed
+    ``(deliver_at, payload, mode, target_shard)`` entries from the mobility
+    runtime, which knows the exact delivery time and destination.
+    """
 
     def __init__(self, sim) -> None:
         self._sim = sim
-        self._outbound: list[tuple[float, Packet]] = []
+        self._outbound: list[tuple] = []
 
     def receive(self, packet: Packet) -> None:
+        """Core ``remote_sink`` entry: record a table-routed handoff."""
         self._outbound.append((self._sim.now, packet))
 
-    def drain(self) -> list[tuple[float, Packet]]:
+    def hand_off(self, deliver_at: float, payload, target: int,
+                 mode: str) -> None:
+        """Record a pre-routed item with its exact delivery time."""
+        self._outbound.append((deliver_at, payload, mode, target))
+
+    def drain(self) -> list[tuple]:
+        """Take (and clear) the items handed off since the last barrier."""
         out, self._outbound = self._outbound, []
         return out
 
@@ -239,6 +400,136 @@ class ShardResult:
     events_processed: int
     boundary_packets: int = 0
     windows: int = 0
+    #: Mobile-flow sample fragments: a flow served by several shards has
+    #: its one-way delays and raw delivery events re-merged in
+    #: delivery-time order by :func:`merge_shard_results` (the throughput
+    #: series is replayed from the merged events — its rate windows are
+    #: event-anchored, so per-shard series cannot be concatenated).
+    mobile_owd: dict[int, tuple[list[float], list[float]]] = \
+        field(default_factory=dict)
+    mobile_rate_events: dict[int, tuple[list[float], list[int]]] = \
+        field(default_factory=dict)
+    handover_records: list[dict] = field(default_factory=list)
+
+
+class _MobileWanPath:
+    """The home-shard forward path of a mobile flow: routed at WAN entry.
+
+    The cut happens at pipe *entry* because that is where one full WAN leg
+    of latency — at least the conservative lookahead — still lies ahead, so
+    the handoff can carry the true core-arrival time.  Arrival-time routing
+    against the handover schedule reproduces exactly the single loop's
+    route-at-core-ingress behaviour.
+    """
+
+    def __init__(self, runtime: "_ShardMobility", flow_id: int,
+                 ue_id: int, wan_leg: float) -> None:
+        self._runtime = runtime
+        self._flow_id = flow_id
+        self._leg = wan_leg
+        # Resolved once: this object replaces the sender's path for the
+        # whole run, so the lookup below executes per downlink packet.
+        self._itinerary = ItineraryLookup(runtime.itineraries[ue_id])
+
+    def receive(self, packet: Packet) -> None:
+        """Route one downlink packet by its core-arrival time."""
+        runtime = self._runtime
+        sim = runtime.sim
+        arrival = sim.now + self._leg
+        target = runtime.assignment[self._itinerary.cell_at(arrival)]
+        if target == runtime.shard_index:
+            sim.schedule_at(arrival, runtime.core.receive, packet)
+        else:
+            runtime.boundary.hand_off(arrival, packet, target, "core_dl")
+
+
+class _MobilityBoundarySink:
+    """The core ``remote_sink`` of a mobility-aware shard.
+
+    Uplink ACKs of mobile flows leaving a serving shard are pre-routed to
+    their home shard carrying the true sender-arrival time
+    (``egress + core processing + wan_leg``); everything else keeps the
+    legacy table-routed path.
+    """
+
+    def __init__(self, runtime: "_ShardMobility",
+                 buffer: _BoundaryBuffer) -> None:
+        self._runtime = runtime
+        self._buffer = buffer
+
+    def receive(self, packet: Packet) -> None:
+        """Pre-route a mobile flow's ACK home; defer the rest to the table."""
+        runtime = self._runtime
+        flow_id = packet.flow_id
+        if packet.is_ack and flow_id in runtime.flow_home:
+            deliver = ((runtime.sim.now + runtime.core_processing)
+                       + runtime.flow_wan_leg[flow_id])
+            self._buffer.hand_off(deliver, packet,
+                                  runtime.flow_home[flow_id], "wan_ul")
+            return
+        self._buffer.receive(packet)
+
+
+class _ShardMobility:
+    """Glues one shard's scenario into the full-spec mobility plan.
+
+    Builds the shard-local :class:`MobilityManager` (arrivals into and
+    departures from local cells), rewires the home shard's mobile senders
+    onto :class:`_MobileWanPath`, pre-routes mobile uplink through
+    :class:`_MobilityBoundarySink`, and ships handover transfers across
+    the boundary with a one-lookahead delivery stamp.
+    """
+
+    def __init__(self, host: "ShardHost", full_spec: ScenarioSpec,
+                 assignment: dict[int, int], lookahead: float) -> None:
+        self.host = host
+        self.shard_index = host.shard_index
+        self.assignment = {int(cell): int(shard)
+                           for cell, shard in assignment.items()}
+        self.lookahead = lookahead
+        scenario = host.scenario
+        self.sim = scenario.sim
+        self.core = scenario.core
+        self.core_processing = scenario.core.processing_delay
+        self.boundary = host.boundary
+        self.topology = mobility_topology(full_spec)
+        self.itineraries = self.topology.itineraries
+        mobile_ues = self.topology.mobile_ue_ids()
+        home_shard = {ue_id: self.assignment[itin[0][1]]
+                      for ue_id, itin in self.itineraries.items()}
+        local_cells = {cell for cell, shard in self.assignment.items()
+                       if shard == self.shard_index}
+        visiting = {ue_id for ue_id in mobile_ues
+                    if home_shard[ue_id] != self.shard_index
+                    and any(self.assignment[cell] == self.shard_index
+                            for _t, cell in self.itineraries[ue_id])}
+        self.manager = MobilityManager(
+            scenario, self.topology, full_spec.mobility,
+            local_cells=local_cells, transfer_out=self._send_transfer,
+            visiting_ues=visiting)
+        # Per-mobile-flow routing tables (home shard, WAN one-way leg).
+        self.flow_home: dict[int, int] = {}
+        self.flow_wan_leg: dict[int, float] = {}
+        for flow in full_spec.resolved_flows():
+            if flow.ue_id not in mobile_ues:
+                continue
+            rtt = (flow.wan_rtt if flow.wan_rtt is not None
+                   else full_spec.wan_rtt)
+            self.flow_home[flow.flow_id] = home_shard[flow.ue_id]
+            self.flow_wan_leg[flow.flow_id] = rtt / 2.0
+            if home_shard[flow.ue_id] == self.shard_index:
+                # Cut this flow's forward path at WAN entry.
+                sender = scenario.senders[flow.flow_id]
+                sender.path = _MobileWanPath(self, flow.flow_id, flow.ue_id,
+                                             rtt / 2.0)
+        self.mobile_flow_ids = set(self.flow_home)
+        scenario.throughput.retain_events_for = self.mobile_flow_ids
+        scenario.core.remote_sink = _MobilityBoundarySink(self, self.boundary)
+
+    def _send_transfer(self, transfer: HandoverTransfer,
+                       target_cell: int) -> None:
+        self.boundary.hand_off(transfer.time + self.lookahead, transfer,
+                               self.assignment[target_cell], "ho_transfer")
 
 
 class ShardHost:
@@ -246,18 +537,31 @@ class ShardHost:
 
     The host is synchronizer-agnostic: the in-process fallback drives a list
     of hosts directly, and :func:`_shard_worker` pumps one host over a pipe
-    from a worker process — both through the same three methods.
+    from a worker process — both through the same few methods.
+
+    ``coupling`` (a dict with the full spec, the cell→shard assignment and
+    the lookahead) activates the mobility runtime; sub-specs themselves
+    always carry mobility stripped.
     """
 
-    def __init__(self, sub_spec: ScenarioSpec, shard_index: int) -> None:
+    def __init__(self, sub_spec: ScenarioSpec, shard_index: int,
+                 coupling: Optional[dict] = None) -> None:
         self.shard_index = shard_index
         self.scenario: BuiltScenario = build_scenario(sub_spec)
         self.boundary = _BoundaryBuffer(self.scenario.sim)
         self.scenario.core.remote_sink = self.boundary
+        self.mobility: Optional[_ShardMobility] = None
+        if coupling is not None:
+            full_spec = coupling["full_spec"]
+            if isinstance(full_spec, dict):
+                full_spec = ScenarioSpec.from_dict(full_spec)
+            self.mobility = _ShardMobility(self, full_spec,
+                                           coupling["assignment"],
+                                           coupling["lookahead"])
         self.windows = 0
         self.boundary_packets = 0
 
-    def advance(self, until: float) -> list[tuple[float, Packet]]:
+    def advance(self, until: float) -> list[tuple]:
         """Run the local loop up to ``until``; return drained outbound batch."""
         self.scenario.sim.run(until=until)
         self.windows += 1
@@ -265,39 +569,82 @@ class ShardHost:
         self.boundary_packets += len(batch)
         return batch
 
-    def inject(self, batch: list[tuple[float, Packet]]) -> None:
-        """Schedule inbound boundary packets onto the local loop.
+    def peek(self) -> Optional[float]:
+        """Earliest pending local event (the adaptive window floor)."""
+        return self.scenario.sim.peek_time()
 
-        ``deliver_at`` stamps are produced by the router as
-        ``handoff + lookahead``; the conservative window guarantees they are
-        never in this shard's past — enforce it rather than assume it.
+    def boundary_idle(self) -> bool:
+        """True when this shard provably cannot emit boundary traffic."""
+        if self.mobility is None:
+            return True
+        return self.mobility.manager.boundary_idle()
+
+    def inject(self, batch: list[tuple]) -> None:
+        """Schedule inbound boundary items onto the local loop.
+
+        Legacy pairs carry ``deliver_at`` stamps produced by the router as
+        ``handoff + lookahead``; pre-routed triples carry their true
+        single-loop delivery time.  The conservative window guarantees
+        neither is ever in this shard's past — enforce it rather than
+        assume it.
         """
         sim = self.scenario.sim
         core = self.scenario.core
-        for deliver_at, packet in batch:
+        for item in batch:
+            deliver_at = item[0]
             if deliver_at < sim.now - 1e-12:
                 raise ConservativeSyncError(
-                    f"shard {self.shard_index}: boundary packet for "
+                    f"shard {self.shard_index}: boundary item for "
                     f"t={deliver_at:.6f} arrived at local time "
                     f"{sim.now:.6f}; lookahead window violated")
-            if core.knows_ue_address(packet.five_tuple.dst_ip):
-                sink = core.receive          # downlink: to a local UE
-            else:
-                sink = core.receive_uplink   # uplink: to a local WAN path
-            sim.schedule_at(max(deliver_at, sim.now), sink, packet)
+            at = max(deliver_at, sim.now)
+            if len(item) == 2:
+                packet = item[1]
+                if core.knows_ue_address(packet.five_tuple.dst_ip):
+                    sink = core.receive          # downlink: to a local UE
+                else:
+                    sink = core.receive_uplink   # uplink: to a local WAN path
+                sim.schedule_at(at, sink, packet)
+                continue
+            _deliver, payload, mode = item
+            if mode == "core_dl":
+                sim.schedule_at(at, core.receive, payload)
+            elif mode == "wan_ul":
+                sender = self.scenario.senders[payload.flow_id]
+                sim.schedule_at(at, sender.receive, payload)
+            elif mode == "ho_transfer":
+                sim.schedule_at(at, self.mobility.manager.apply_transfer,
+                                payload)
+            else:  # pragma: no cover - protocol corruption guard
+                raise ValueError(f"unknown boundary item mode {mode!r}")
 
     def finish(self) -> ShardResult:
         """Stop collectors and package this shard's results for the merge."""
         scenario = self.scenario
         scenario.stop_collectors()
         result = scenario.collect(scenario.sim.processed_events)
+        mobile_owd: dict[int, tuple[list[float], list[float]]] = {}
+        mobile_rate_events: dict[int, tuple[list[float], list[int]]] = {}
+        records: list[dict] = []
+        if self.mobility is not None:
+            for flow_id in self.mobility.mobile_flow_ids:
+                times = scenario.owd.sample_times.get(flow_id)
+                samples = scenario.owd.samples.get(flow_id)
+                if times:
+                    mobile_owd[flow_id] = (list(times), list(samples))
+                events = scenario.throughput.raw_events.get(flow_id)
+                if events and events[0]:
+                    mobile_rate_events[flow_id] = events
+            self.mobility.manager.stop()
+            records = [dict(record)
+                       for record in self.mobility.manager.records]
         return ShardResult(
             shard_index=self.shard_index,
             flows=result.flows,
             queue_lengths={name: list(values) for name, values
                            in scenario.queue_sampler.length_samples.items()},
             bearer_order=[(cell_id,
-                           [str(key) for key, _ in gnb.du.rlc_items()])
+                           [label for label, _ in gnb.du.labeled_rlc_items()])
                           for cell_id, gnb in scenario.gnbs.items()],
             breakdown_count=scenario.breakdown.count,
             breakdown_sums=dict(scenario.breakdown.sums),
@@ -306,7 +653,10 @@ class ShardHost:
             rate_errors=result.rate_estimation_errors,
             events_processed=result.events_processed,
             boundary_packets=self.boundary_packets,
-            windows=self.windows)
+            windows=self.windows,
+            mobile_owd=mobile_owd,
+            mobile_rate_events=mobile_rate_events,
+            handover_records=records)
 
 
 # --------------------------------------------------------------------- #
@@ -314,7 +664,7 @@ class ShardHost:
 # --------------------------------------------------------------------- #
 @dataclass
 class _BoundaryRouter:
-    """Routes drained boundary packets to the shard that can deliver them."""
+    """Routes drained boundary items to the shard that can deliver them."""
 
     ip_to_shard: dict[str, int]
     flow_to_shard: dict[int, int]
@@ -322,21 +672,34 @@ class _BoundaryRouter:
     num_shards: int
     routed_packets: int = 0
     dropped_packets: int = 0
+    #: Earliest delivery time among the items routed by the last
+    #: :meth:`route` call (the adaptive window floor), or None.
+    last_min_deliver: Optional[float] = None
 
-    #: True when two shards could ever owe each other a packet.
-    #: ``split_spec`` co-locates every flow's server, WAN pipes, core routes
-    #: and UE on one shard, and ``sharding_blockers`` refuses the one split
-    #: that could alias addresses across shards (wrapped >250-UE spaces), so
-    #: through :func:`run_scenario_sharded` this is always False today and
-    #: the synchronizer runs a single window to the horizon — conservative
-    #: lookahead over zero inter-federate links is unbounded.  The windowed
-    #: barrier protocol below stays unit-tested scaffolding for future
-    #: genuinely-coupled topologies (inter-cell handover, shared AQM).
+    #: True when two shards could ever owe each other a packet: a mobile
+    #: UE whose itinerary leaves its home shard, or (defensively) an
+    #: aliased client address.  When False the synchronizer runs a single
+    #: window to the horizon — conservative lookahead over zero
+    #: inter-federate links is unbounded.
     boundary_required: bool = False
+    #: True when coupling comes from aliased addresses rather than the
+    #: mobility schedule.  Such coupling has no schedule the adaptive
+    #: clock could jump by, so it forces fixed-cadence windows.
+    #: (Unreachable through :func:`run_scenario_sharded` today —
+    #: ``sharding_blockers`` refuses wrapped address spaces — kept
+    #: correct for hand-built plans.)
+    ip_conflict: bool = False
 
     @classmethod
-    def for_plan(cls, spec: ScenarioSpec, plan: ShardPlan,
-                 ue_ip) -> "_BoundaryRouter":
+    def for_plan(cls, spec: ScenarioSpec, plan: ShardPlan, ue_ip,
+                 mobility_coupled: bool = False) -> "_BoundaryRouter":
+        """Build the routing tables (and coupling verdict) for a plan.
+
+        ``mobility_coupled`` is the caller's
+        :func:`mobility_coupling_intervals` verdict — passed in rather than
+        recomputed so the router's requirement and the synchronizer's jump
+        schedule stay consistent by construction.
+        """
         ip_to_shard = {}
         ip_conflict = False
         flow_to_shard = {}
@@ -356,33 +719,46 @@ class _BoundaryRouter:
             flow_to_shard[flow.flow_id] = plan.assignment[ue_cell[flow.ue_id]]
         return cls(ip_to_shard=ip_to_shard, flow_to_shard=flow_to_shard,
                    lookahead=plan.lookahead, num_shards=plan.num_shards,
-                   boundary_required=ip_conflict)
+                   boundary_required=ip_conflict or mobility_coupled,
+                   ip_conflict=ip_conflict)
 
-    def route(self, outputs: list[list[tuple[float, Packet]]]
-              ) -> list[list[tuple[float, Packet]]]:
+    def route(self, outputs: list[list[tuple]]) -> list[list[tuple]]:
         """Turn per-shard outbound batches into per-shard inbound batches."""
-        inbound: list[list[tuple[float, Packet]]] = [
-            [] for _ in range(self.num_shards)]
+        inbound: list[list[tuple]] = [[] for _ in range(self.num_shards)]
+        min_deliver: Optional[float] = None
         for source, batch in enumerate(outputs):
-            for handoff, packet in batch:
-                target = self.ip_to_shard.get(packet.five_tuple.dst_ip)
-                if target is None:
-                    target = self.flow_to_shard.get(packet.flow_id)
-                if target is None or target == source:
-                    if not packet.is_ack:
-                        # The single loop's core raises for an unroutable
-                        # downlink datagram; a sharded run must be as loud,
-                        # not silently corrupt the metrics.
-                        raise KeyError(
-                            f"no shard can deliver downlink packet for "
-                            f"{packet.five_tuple.dst_ip} (flow "
-                            f"{packet.flow_id}, from shard {source})")
-                    # Unknown uplink flows are dropped silently by the
-                    # single core too; count them for the post-run warning.
-                    self.dropped_packets += 1
-                    continue
-                self.routed_packets += 1
-                inbound[target].append((handoff + self.lookahead, packet))
+            for item in batch:
+                if len(item) > 2:
+                    # Pre-routed by the mobility runtime: exact delivery
+                    # time and destination shard travel with the item.
+                    deliver_at, payload, mode, target = item
+                    self.routed_packets += 1
+                    inbound[target].append((deliver_at, payload, mode))
+                else:
+                    handoff, packet = item
+                    target = self.ip_to_shard.get(packet.five_tuple.dst_ip)
+                    if target is None:
+                        target = self.flow_to_shard.get(packet.flow_id)
+                    if target is None or target == source:
+                        if not packet.is_ack:
+                            # The single loop's core raises for an unroutable
+                            # downlink datagram; a sharded run must be as
+                            # loud, not silently corrupt the metrics.
+                            raise KeyError(
+                                f"no shard can deliver downlink packet for "
+                                f"{packet.five_tuple.dst_ip} (flow "
+                                f"{packet.flow_id}, from shard {source})")
+                        # Unknown uplink flows are dropped silently by the
+                        # single core too; count them for the post-run
+                        # warning.
+                        self.dropped_packets += 1
+                        continue
+                    self.routed_packets += 1
+                    deliver_at = handoff + self.lookahead
+                    inbound[target].append((deliver_at, packet))
+                if min_deliver is None or deliver_at < min_deliver:
+                    min_deliver = deliver_at
+        self.last_min_deliver = min_deliver
         return inbound
 
 
@@ -390,19 +766,66 @@ class _BoundaryRouter:
 # Result merge: per-shard collector outputs -> single-loop report schema
 # --------------------------------------------------------------------- #
 def merge_shard_results(config: ScenarioSpec, plan: ShardPlan,
-                        results: list[ShardResult]) -> ScenarioResult:
+                        results: list[ShardResult],
+                        sharding_stats: Optional[dict] = None
+                        ) -> ScenarioResult:
     """Recombine shard results into the exact single-loop result schema.
 
     Orderings the single loop makes observable are reconstructed from the
     full spec: flows in declared flow order, queue samples cell by cell in
     declaration order, marker summaries merged over cells in declaration
-    order.  ``events_processed`` is the sum over shard loops (the sharded
-    run ticks one queue sampler per shard, so it exceeds the single-loop
-    count by those extra sampler events).
+    order.  A mobile flow's samples — collected by every shard that served
+    its UE — are re-merged in delivery-time order, its throughput series
+    replayed from the merged delivery events and its goodput recomputed
+    from the summed byte counts, reproducing the single loop's values
+    exactly.  Two quantities are deterministic but *not* order-identical to
+    the single loop: ``events_processed`` is the sum over shard loops (each
+    shard ticks its own queue sampler), and in mobility runs the key order
+    of ``queue_length_by_drb`` — bearers released mid-run by a departure
+    are appended after the finish-time bearers rather than in
+    first-appearance order (the dict compares equal; only the flattened
+    ``queue_length_samples`` concatenation order differs).
     """
     results = sorted(results, key=lambda r: r.shard_index)
     flows_by_id = {flow.flow_id: flow for r in results for flow in r.flows}
-    ordered_flows = [flows_by_id[f.flow_id] for f in config.resolved_flows()]
+    resolved_flows = config.resolved_flows()
+    mobile_ues: set[int] = set()
+    if config.mobility.enabled:
+        mobile_ues = mobility_topology(config).mobile_ue_ids()
+    merged_owd_times: dict[int, list[float]] = {}
+    mobile_flow_bytes: dict[int, int] = {}
+    replay = ThroughputCollector(window=config.throughput_window)
+    ordered_flows = []
+    for spec in resolved_flows:
+        flow = flows_by_id[spec.flow_id]
+        if spec.ue_id in mobile_ues:
+            pairs = [pair for r in results
+                     for pair in zip(*r.mobile_owd.get(spec.flow_id,
+                                                       ((), ())))]
+            pairs.sort(key=lambda pair: pair[0])
+            merged_owd_times[spec.flow_id] = [t for t, _v in pairs]
+            # Replay the merged delivery events through a fresh collector:
+            # its rate windows are event-anchored, so this — not a
+            # concatenation of per-shard series — reproduces the single
+            # loop's throughput series (and byte totals) exactly.
+            events = [event for r in results
+                      for event in
+                      zip(*r.mobile_rate_events.get(spec.flow_id, ((), ())))]
+            events.sort(key=lambda event: event[0])
+            for now, size in events:
+                replay.record(spec.flow_id, size, now)
+            total_bytes = replay.total_bytes.get(spec.flow_id, 0)
+            mobile_flow_bytes[spec.flow_id] = total_bytes
+            duration = config.duration_s - spec.start_time
+            if spec.stop_time is not None:
+                duration = min(duration, spec.stop_time - spec.start_time)
+            flow = dataclasses.replace(
+                flow,
+                owd_samples=[v for _t, v in pairs],
+                goodput_bytes_per_s=total_bytes / max(duration, 1e-9),
+                throughput_series=replay.series.get(spec.flow_id,
+                                                    TimeSeries()))
+        ordered_flows.append(flow)
 
     bearer_names: dict[int, list[str]] = {}
     for r in results:
@@ -414,6 +837,10 @@ def merge_shard_results(config: ScenarioSpec, plan: ShardPlan,
         for name in bearer_names.get(cell.cell_id, []):
             if name in all_lengths:
                 queue_by_drb[name] = all_lengths[name]
+    # Bearers released mid-run (handover departures) are no longer listed
+    # by any DU at finish time; their samples still belong in the report.
+    for name, values in all_lengths.items():
+        queue_by_drb.setdefault(name, values)
     queue_samples = [sample for values in queue_by_drb.values()
                      for sample in values]
 
@@ -433,8 +860,19 @@ def merge_shard_results(config: ScenarioSpec, plan: ShardPlan,
     for r in results:
         merged_ue.update(r.per_ue_throughput)
     per_ue: dict[int, float] = {}
-    for flow in config.resolved_flows():
-        per_ue.setdefault(flow.ue_id, merged_ue.get(flow.ue_id, 0.0))
+    for flow in resolved_flows:
+        if flow.ue_id in mobile_ues:
+            per_ue.setdefault(flow.ue_id, 0.0)
+            per_ue[flow.ue_id] += (mobile_flow_bytes.get(flow.flow_id, 0)
+                                   / max(config.duration_s, 1e-9))
+        else:
+            per_ue.setdefault(flow.ue_id, merged_ue.get(flow.ue_id, 0.0))
+
+    handovers = merge_handover_records(r.handover_records for r in results)
+    if handovers:
+        attach_data_gaps(handovers, merged_owd_times,
+                         {flow.flow_id: flow.ue_id
+                          for flow in resolved_flows})
 
     return ScenarioResult(
         config=config,
@@ -447,43 +885,62 @@ def merge_shard_results(config: ScenarioSpec, plan: ShardPlan,
         rate_estimation_errors=[error for r in results
                                 for error in r.rate_errors],
         duration_s=config.duration_s,
-        events_processed=sum(r.events_processed for r in results))
+        events_processed=sum(r.events_processed for r in results),
+        handovers=handovers,
+        sharding_stats=dict(sharding_stats or {}))
 
 
 # --------------------------------------------------------------------- #
 # Synchronizers
 # --------------------------------------------------------------------- #
 def _run_hosts_inprocess(hosts: list[ShardHost], router: _BoundaryRouter,
-                         windows: list[float]) -> list[ShardResult]:
+                         sync: _SyncPlan) -> list[ShardResult]:
     """Drive all shard hosts in one process, window by window.
 
     The sequential twin of the process synchronizer: same windows, same
     exchanges, same results — used as the sandbox fallback and by tests that
     must not depend on the platform's multiprocessing support.
     """
-    for window_end in windows:
+    window_end = sync.first_window()
+    while True:
+        sync.windows += 1
         outputs = [host.advance(window_end) for host in hosts]
+        peeks = [host.peek() for host in hosts]
+        all_idle = all(host.boundary_idle() for host in hosts)
         for host, batch in zip(hosts, router.route(outputs)):
             host.inject(batch)
+        if window_end >= sync.horizon - 1e-12:
+            break
+        window_end = sync.next_window(window_end, peeks,
+                                      router.last_min_deliver, all_idle)
     return [host.finish() for host in hosts]
 
 
 def _shard_worker(conn, payload: dict) -> None:
     """Worker-process main: pump one :class:`ShardHost` over a pipe.
 
-    Protocol, in lock-step with the coordinator for every window end W:
-    worker sends ``("window", outbound_batch)`` after simulating up to W,
-    then blocks for ``("proceed", inbound_batch)``.  After the last window it
-    sends ``("result", ShardResult)``.  Any exception is shipped back as
-    ``("error", traceback_text)`` instead of dying silently.
+    Protocol, in lock-step with the coordinator: the worker advances to the
+    current window end and sends ``("window", (outbound_batch, peek_time,
+    boundary_idle))``, then blocks for ``("proceed", (inbound_batch,
+    next_window_end))`` — the coordinator owns the (possibly adaptive)
+    window clock.  After the horizon window it sends ``("result",
+    ShardResult)``.  Any exception is shipped back as ``("error",
+    traceback_text)`` instead of dying silently.
     """
     try:
         spec = ScenarioSpec.from_dict(payload["spec"])
-        host = ShardHost(spec, payload["shard_index"])
-        for window_end in payload["windows"]:
-            conn.send(("window", host.advance(window_end)))
-            _kind, inbound = conn.recv()
+        host = ShardHost(spec, payload["shard_index"],
+                         coupling=payload.get("coupling"))
+        window_end = payload["first_window"]
+        horizon = payload["horizon"]
+        while True:
+            batch = host.advance(window_end)
+            conn.send(("window", (batch, host.peek(), host.boundary_idle())))
+            _kind, (inbound, next_window) = conn.recv()
             host.inject(inbound)
+            if window_end >= horizon - 1e-12:
+                break
+            window_end = next_window
         conn.send(("result", host.finish()))
     except Exception:  # pragma: no cover - ships the traceback to the parent
         import traceback
@@ -510,10 +967,11 @@ def _recv(conn, shard: int):
 
 
 def _run_workers(sub_specs: list[ScenarioSpec], router: _BoundaryRouter,
-                 windows: list[float],
+                 sync: _SyncPlan, coupling: Optional[dict],
                  start_method: Optional[str]) -> list[ShardResult]:
     """Coordinator: one worker process per shard, barrier per window."""
     pipes, workers = [], []
+    first_window = sync.first_window()
     try:
         context = (multiprocessing.get_context(start_method)
                    if start_method else multiprocessing.get_context())
@@ -522,7 +980,9 @@ def _run_workers(sub_specs: list[ScenarioSpec], router: _BoundaryRouter,
             worker = context.Process(
                 target=_shard_worker,
                 args=(child, {"spec": sub.to_dict(), "shard_index": index,
-                              "windows": windows}),
+                              "first_window": first_window,
+                              "horizon": sync.horizon,
+                              "coupling": coupling}),
                 name=f"repro-shard-{index}", daemon=True)
             worker.start()
             child.close()
@@ -539,13 +999,26 @@ def _run_workers(sub_specs: list[ScenarioSpec], router: _BoundaryRouter,
             worker.join(timeout=5.0)
         raise _WorkersUnavailable(str(exc)) from exc
     try:
-        for _window_end in windows:
-            outputs = []
+        window_end = first_window
+        while True:
+            sync.windows += 1
+            outputs, peeks, idles = [], [], []
             for shard, conn in enumerate(pipes):
-                _kind, batch = _recv(conn, shard)
+                _kind, (batch, peek, idle) = _recv(conn, shard)
                 outputs.append(batch)
-            for conn, batch in zip(pipes, router.route(outputs)):
-                conn.send(("proceed", batch))
+                peeks.append(peek)
+                idles.append(idle)
+            inbound = router.route(outputs)
+            done = window_end >= sync.horizon - 1e-12
+            next_window = (window_end if done else
+                           sync.next_window(window_end, peeks,
+                                            router.last_min_deliver,
+                                            all(idles)))
+            for conn, batch in zip(pipes, inbound):
+                conn.send(("proceed", (batch, next_window)))
+            if done:
+                break
+            window_end = next_window
         results = []
         for shard, conn in enumerate(pipes):
             _kind, result = _recv(conn, shard)
@@ -565,14 +1038,17 @@ def _run_workers(sub_specs: list[ScenarioSpec], router: _BoundaryRouter,
 # --------------------------------------------------------------------- #
 def run_scenario_sharded(config: ScenarioSpec, shards: Optional[int] = None,
                          inprocess: Optional[bool] = None,
-                         start_method: Optional[str] = None
+                         start_method: Optional[str] = None,
+                         adaptive: Optional[bool] = None
                          ) -> ScenarioResult:
     """Run ``config`` with cells sharded across processes; merged result.
 
     Falls back transparently: unshardable specs (single cell, wired
-    middlebox) run on the classic single loop; platforms that cannot host
-    worker processes use the in-process synchronizer (identical results —
-    only wall-clock differs).  ``shards`` overrides the spec's worker count.
+    middlebox, SNR mobility) run on the classic single loop; platforms that
+    cannot host worker processes use the in-process synchronizer (identical
+    results — only wall-clock differs).  ``shards`` overrides the spec's
+    worker count and ``adaptive`` the spec's ``sharding.adaptive_windows``
+    (the fixed-cadence baseline is ``adaptive=False``).
     """
     config.validate()
     blockers = sharding_blockers(config)
@@ -589,34 +1065,53 @@ def run_scenario_sharded(config: ScenarioSpec, shards: Optional[int] = None,
                                         sharding=ShardingSpec(mode="off"))
         return build_scenario(unsharded).run()
     sub_specs = split_spec(config, plan)
-    router = _BoundaryRouter.for_plan(config, plan, ue_ip=ue_ip_address)
-    # Conservative lookahead over zero inter-shard links is unbounded:
-    # when no packet can ever cross the boundary (the common, collision-free
-    # split), each shard runs straight to the horizon in one window and the
-    # barrier exchanges — one pipe round-trip per lookahead window — vanish.
-    windows = (window_schedule(config.duration_s, plan.lookahead)
-               if router.boundary_required else [config.duration_s])
+    coupling_payload = None
+    coupling_intervals: list[tuple[float, float]] = []
+    if config.mobility.enabled:
+        coupling_intervals = mobility_coupling_intervals(config, plan)
+        coupling_payload = {"full_spec": config.to_dict(),
+                            "assignment": plan.assignment,
+                            "lookahead": plan.lookahead}
+    router = _BoundaryRouter.for_plan(
+        config, plan, ue_ip=ue_ip_address,
+        mobility_coupled=bool(coupling_intervals))
+    if adaptive is None:
+        adaptive = config.sharding.adaptive_windows
+    # Address-alias coupling (defensive-only today) has no schedule the
+    # adaptive clock could jump by; fall back to fixed cadence for it.
+    sync = _SyncPlan(horizon=config.duration_s, lookahead=plan.lookahead,
+                     boundary_required=router.boundary_required,
+                     adaptive=adaptive and not router.ip_conflict,
+                     coupling=coupling_intervals)
     if inprocess is None:
         inprocess = bool(os.environ.get(INPROCESS_ENV))
     results = None
     if not inprocess:
         try:
-            results = _run_workers(sub_specs, router, windows, start_method)
+            results = _run_workers(sub_specs, router, sync, coupling_payload,
+                                   start_method)
         except _WorkersUnavailable as exc:
+            sync.windows = 0
             warnings.warn(
                 f"shard worker processes unavailable ({exc}); running all "
                 f"{plan.num_shards} shards in-process (same results, no "
                 "parallel speedup)", RuntimeWarning, stacklevel=2)
     if results is None:
-        hosts = [ShardHost(sub, index)
+        hosts = [ShardHost(sub, index, coupling=coupling_payload)
                  for index, sub in enumerate(sub_specs)]
-        results = _run_hosts_inprocess(hosts, router, windows)
+        results = _run_hosts_inprocess(hosts, router, sync)
     if router.dropped_packets:
         warnings.warn(
             f"sharded run dropped {router.dropped_packets} unroutable "
             "uplink packet(s) at the shard boundary (the single loop drops "
             "these silently)", RuntimeWarning, stacklevel=2)
-    return merge_shard_results(config, plan, results)
+    stats = {"windows": sync.windows,
+             "lookahead": plan.lookahead,
+             "adaptive_windows": sync.adaptive,
+             "boundary_required": router.boundary_required,
+             "routed_packets": router.routed_packets,
+             "shards": plan.num_shards}
+    return merge_shard_results(config, plan, results, sharding_stats=stats)
 
 
 def run_scenario_dict_sharded(spec_dict: dict,
@@ -636,6 +1131,7 @@ __all__ = [
     "boundary_lookahead",
     "build_shard_plan",
     "merge_shard_results",
+    "mobility_coupling_intervals",
     "run_scenario_sharded",
     "run_scenario_dict_sharded",
     "sharding_blockers",

@@ -4,7 +4,10 @@
 run looks like: the radio cells sharing the 5G core, the UE population (with
 per-UE channel, SNR, RLC and cell-attachment overrides), the transport flows
 (with per-flow congestion control, schedule, transfer size and WAN RTT), the
-in-RAN marker and every tunable the experiment harnesses sweep.
+in-RAN marker, the :class:`MobilitySpec` handover plan, the
+:class:`ShardingSpec` process-split policy and every tunable the experiment
+harnesses sweep.  The full field-by-field schema is documented (and
+regression-checked against this module) in ``docs/scenarios.md``.
 
 Three properties make it the currency of the whole experiment layer:
 
@@ -81,11 +84,17 @@ class ShardingSpec:
             ``"explicit"`` places each cell on the shard named by ``map``.
         shards: worker count for ``"auto"`` mode, or None for the default.
         map: explicit ``cell_id -> shard index`` placement (``"explicit"``).
+        adaptive_windows: when shards are genuinely coupled (mobility), let
+            the synchronizer widen barrier windows while the handover
+            schedule proves no boundary traffic can flow, instead of running
+            one fixed-lookahead pipe round-trip per window for the whole run.
+            Ignored for boundary-free splits (they run a single window).
     """
 
     mode: str = "off"
     shards: Optional[int] = None
     map: dict[int, int] = field(default_factory=dict)
+    adaptive_windows: bool = True
 
     def __post_init__(self) -> None:
         # JSON object keys are strings; normalise back to int cell ids so a
@@ -102,6 +111,7 @@ class ShardingSpec:
         return True
 
     def validate(self) -> "ShardingSpec":
+        """Check mode/worker-count/map consistency."""
         if self.mode not in SHARDING_MODES:
             raise ValueError(f"unknown sharding mode {self.mode!r}; "
                              f"choose from {SHARDING_MODES}")
@@ -112,6 +122,90 @@ class ShardingSpec:
         for cell, shard in self.map.items():
             if shard < 0:
                 raise ValueError(f"cell {cell} mapped to negative shard {shard}")
+        return self
+
+
+#: Mobility modes understood by the handover subsystem.
+MOBILITY_MODES = ("off", "schedule", "snr")
+
+#: How a handover treats the RLC data still queued at the source cell.
+HO_MODES = ("forward", "flush")
+
+
+@dataclass
+class HandoverSpec:
+    """One scheduled inter-cell handover.
+
+    Attributes:
+        time: simulation time (seconds) at which the UE detaches from its
+            current serving cell and begins attaching to ``target_cell``.
+        ue_id: the UE that moves.
+        target_cell: the cell it moves to.
+    """
+
+    time: float
+    ue_id: int
+    target_cell: int
+
+
+@dataclass
+class MobilitySpec:
+    """Inter-cell mobility of the UE population (see :mod:`repro.ran.mobility`).
+
+    Attributes:
+        mode: ``"off"`` (no mobility), ``"schedule"`` (handovers listed in
+            ``handovers`` execute at fixed times) or ``"snr"`` (a periodic
+            monitor hands a degraded UE over to the next cell in declaration
+            order; decided mid-run, so SNR mobility cannot be sharded).
+        handovers: the schedule for ``"schedule"`` mode.
+        interruption_s: detach-to-service gap: the target cell buffers
+            arriving downlink data but grants the UE no air time until
+            ``interruption_s`` after the handover fires (RACH + path switch).
+        ho_mode: ``"forward"`` re-submits the source cell's queued RLC SDUs
+            at the target cell (arriving ``interruption_s`` later, the Xn
+            data-forwarding path); ``"flush"`` drops them (loss the transport
+            must recover from).
+        check_interval_s / snr_threshold_db / min_stay_s: the ``"snr"``
+            monitor's sampling period, trigger level, and the minimum time a
+            UE stays attached before it may move again (ping-pong damping;
+            clamped to at least ``interruption_s``).
+        ues: UEs the ``"snr"`` monitor watches (empty = every UE).
+    """
+
+    mode: str = "off"
+    handovers: list[HandoverSpec] = field(default_factory=list)
+    interruption_s: float = 0.020
+    ho_mode: str = "forward"
+    check_interval_s: float = 0.05
+    snr_threshold_db: float = 10.0
+    min_stay_s: float = 0.5
+    ues: list[int] = field(default_factory=list)
+
+    @property
+    def enabled(self) -> bool:
+        """True when this block asks for any mobility at all."""
+        if self.mode == "schedule":
+            return bool(self.handovers)
+        return self.mode == "snr"
+
+    def validate(self) -> "MobilitySpec":
+        """Check mode/knob consistency (itinerary checks need the spec)."""
+        if self.mode not in MOBILITY_MODES:
+            raise ValueError(f"unknown mobility mode {self.mode!r}; "
+                             f"choose from {MOBILITY_MODES}")
+        if self.ho_mode not in HO_MODES:
+            raise ValueError(f"unknown ho_mode {self.ho_mode!r}; "
+                             f"choose from {HO_MODES}")
+        if self.interruption_s <= 0:
+            raise ValueError("mobility.interruption_s must be positive")
+        if self.mode == "snr":
+            if self.check_interval_s <= 0:
+                raise ValueError("mobility.check_interval_s must be positive")
+        for ho in self.handovers:
+            if ho.time <= 0:
+                raise ValueError(
+                    f"handover of ue {ho.ue_id} at t={ho.time} must be "
+                    "scheduled after time zero")
         return self
 
 
@@ -182,6 +276,9 @@ class ScenarioSpec:
     # Process-per-cell sharding of multi-cell scenarios (off by default; see
     # repro.experiments.sharded for the runtime and its determinism contract).
     sharding: ShardingSpec = field(default_factory=ShardingSpec)
+    # Inter-cell handover of UEs between the scenario's cells (off by
+    # default; see repro.ran.mobility for the execution semantics).
+    mobility: MobilitySpec = field(default_factory=MobilitySpec)
 
     def __post_init__(self) -> None:
         # Normalise the throttle schedule to tuples so a spec deserialized
@@ -311,7 +408,49 @@ class ScenarioSpec:
             if flow.flow_id in flow_ids:
                 raise ValueError(f"duplicate flow_id {flow.flow_id}")
             flow_ids.add(flow.flow_id)
+        self._validate_mobility(cell_ids, {ue.ue_id: ue.cell_id for ue in ues})
         return self
+
+    def _validate_mobility(self, cell_ids: set[int],
+                           ue_cells: dict[int, int]) -> None:
+        mobility = self.mobility.validate()
+        if not mobility.enabled:
+            return
+        if len(cell_ids) < 2:
+            raise ValueError("mobility needs at least two cells to move "
+                             "a UE between")
+        for ue_id in mobility.ues:
+            if ue_id not in ue_cells:
+                raise ValueError(f"mobility.ues names unknown ue {ue_id}")
+        serving = dict(ue_cells)
+        last_time: dict[int, float] = {}
+        for ho in mobility.handovers:
+            if ho.ue_id not in ue_cells:
+                raise ValueError(
+                    f"handover at t={ho.time} names unknown ue {ho.ue_id}")
+            if ho.target_cell not in cell_ids:
+                raise ValueError(
+                    f"handover of ue {ho.ue_id} at t={ho.time} targets "
+                    f"unknown cell {ho.target_cell}; declared cells: "
+                    f"{sorted(cell_ids)}")
+            if ho.target_cell == serving[ho.ue_id]:
+                raise ValueError(
+                    f"handover of ue {ho.ue_id} at t={ho.time} targets its "
+                    f"current serving cell {ho.target_cell}")
+            previous = last_time.get(ho.ue_id)
+            if previous is not None:
+                if ho.time <= previous:
+                    raise ValueError(
+                        f"handovers of ue {ho.ue_id} must be in strictly "
+                        f"increasing time order (t={ho.time} after "
+                        f"t={previous})")
+                if ho.time - previous < mobility.interruption_s:
+                    raise ValueError(
+                        f"ue {ho.ue_id} hands over at t={ho.time} before "
+                        f"its t={previous} handover completes "
+                        f"(interruption {mobility.interruption_s}s)")
+            serving[ho.ue_id] = ho.target_cell
+            last_time[ho.ue_id] = ho.time
 
     # ------------------------------------------------------------------ #
     # Serialization
@@ -343,6 +482,9 @@ class ScenarioSpec:
             if key in data and data[key] is not None:
                 parsed[key] = _dataclass_from_dict(nested_cls,
                                                    data.pop(key), key)
+        if data.get("mobility") is not None:
+            parsed["mobility"] = _mobility_spec_from_dict(data.pop("mobility"))
+        data.pop("mobility", None)
         if data.get("flows") is not None:
             parsed["flows"] = [_dataclass_from_dict(FlowSpec, entry,
                                                     "flows[]")
@@ -381,6 +523,19 @@ def _dataclass_from_dict(cls, data: Any, where: str,
     if extra:
         kwargs.update(extra)
     return cls(**kwargs)
+
+
+def _mobility_spec_from_dict(data: dict) -> MobilitySpec:
+    data = dict(data) if isinstance(data, dict) else data
+    extra = {}
+    if isinstance(data, dict):
+        if data.get("handovers") is not None:
+            extra["handovers"] = [
+                _dataclass_from_dict(HandoverSpec, entry,
+                                     "mobility.handovers[]")
+                for entry in data.pop("handovers")]
+        data.pop("handovers", None)
+    return _dataclass_from_dict(MobilitySpec, data, "mobility", extra=extra)
 
 
 def _cell_spec_from_dict(data: dict) -> CellSpec:

@@ -135,6 +135,14 @@ class ThroughputCollector:
         self.total_bytes: dict[int, int] = defaultdict(int)
         self.first_time: dict[int, float] = {}
         self.last_time: dict[int, float] = {}
+        #: Flow ids whose raw (time, size) events are retained.  The rate
+        #: windows are anchored at event times, so a collector that only saw
+        #: part of a flow's life (one shard of a mobile flow) cannot have
+        #: its series merged with another's — the sharded runtime instead
+        #: retains the raw events and replays the merged stream through a
+        #: fresh collector, reproducing the single loop exactly.
+        self.retain_events_for: Optional[set] = None
+        self.raw_events: dict[int, tuple[list[float], list[int]]] = {}
 
     def record(self, flow_id: int, size: int, now: float) -> None:
         self.total_bytes[flow_id] += size
@@ -147,6 +155,11 @@ class ThroughputCollector:
             self.series[flow_id].append(now, rate)
             self._window_start[flow_id] = now
             self._bytes_in_window[flow_id] = 0
+        if self.retain_events_for is not None \
+                and flow_id in self.retain_events_for:
+            times, sizes = self.raw_events.setdefault(flow_id, ([], []))
+            times.append(now)
+            sizes.append(size)
 
     def average_rate(self, flow_id: int,
                      duration: Optional[float] = None) -> float:
@@ -264,15 +277,21 @@ class QueueSampler:
     def _bearer_list(self) -> list[tuple[str, object]]:
         """(name, entity) pairs, cached -- per-tick DrbKey lookups and
         report-dict rebuilds were a measurable share of scenario time.  The
-        cache is refreshed whenever a cell gains a bearer (late attach)."""
+        cache is refreshed whenever a cell gains a bearer (late attach) or
+        :meth:`invalidate` is called (a handover swaps bearers without
+        changing the total, which a pure count check would miss)."""
         bearers = self._bearers
         total = sum(len(gnb.du.rlc_items()) for gnb in self._gnbs)
         if bearers is None or len(bearers) != total:
-            bearers = [(str(key), entity)
+            bearers = [item
                        for gnb in self._gnbs
-                       for key, entity in gnb.du.rlc_items()]
+                       for item in gnb.du.labeled_rlc_items()]
             self._bearers = bearers
         return bearers
+
+    def invalidate(self) -> None:
+        """Force a bearer re-scan on the next tick (topology changed)."""
+        self._bearers = None
 
     def _sample(self) -> None:
         self.times.append(self._sim.now)

@@ -17,6 +17,9 @@ The data path mirrors the split the paper targets (O-RAN 7.2x):
   configuration, the client-side transport receivers, and the uplink path
   back through the gNB.
 * :class:`~repro.ran.gnb.GNodeB` -- glue that assembles all of the above.
+* :class:`~repro.ran.mobility.MobilityManager` -- inter-cell handover:
+  detach/attach execution, RLC forwarding, receiver state transfer and the
+  SNR-triggered mobility monitor.
 """
 
 from repro.ran.identifiers import DrbConfig, DrbId, QosFlowId, RlcMode, UeId
@@ -29,6 +32,8 @@ from repro.ran.phy import AirInterface, AirInterfaceConfig
 from repro.ran.mac import MacScheduler, SchedulerPolicy
 from repro.ran.ue import UeConfig, UeContext, UplinkModel
 from repro.ran.marker import NoopMarker, RanMarker
+from repro.ran.mobility import (HandoverTransfer, MobilityManager,
+                                MobilityTopology, Transition)
 from repro.ran.core import FiveGCore
 from repro.ran.cu import CentralUnitUserPlane
 from repro.ran.du import DistributedUnit
@@ -56,6 +61,10 @@ __all__ = [
     "UplinkModel",
     "NoopMarker",
     "RanMarker",
+    "HandoverTransfer",
+    "MobilityManager",
+    "MobilityTopology",
+    "Transition",
     "FiveGCore",
     "CentralUnitUserPlane",
     "DistributedUnit",

@@ -36,6 +36,11 @@ class CentralUnitUserPlane:
         self._pdcp: dict[tuple[UeId, DrbId], PdcpEntity] = {}
         #: uplink packets leave the RAN through this sink (towards the UPF).
         self.uplink_sink: Optional[PacketSink] = None
+        #: Mobility sets this: downlink datagrams racing a detach through the
+        #: core's processing pipeline are dropped (and counted) instead of
+        #: raising for the departed UE.
+        self.drop_unknown_ue = False
+        self.unknown_ue_packets = 0
         self.downlink_packets = 0
         self.uplink_packets = 0
         f1u.connect_cu(self._on_delivery_status)
@@ -51,6 +56,13 @@ class CentralUnitUserPlane:
             self._pdcp[(ue.ue_id, config.drb_id)] = PdcpEntity(
                 ue.ue_id, config, self.f1u.send_downlink_sdu)
 
+    def detach_ue(self, ue_id: UeId) -> None:
+        """Drop a UE's SDAP/PDCP state (handover departure)."""
+        sdap = self._sdap.pop(ue_id, None)
+        if sdap is not None:
+            for drb_id in sdap.drb_ids:
+                self._pdcp.pop((ue_id, drb_id), None)
+
     def set_marker(self, marker: RanMarker) -> None:
         """Attach (or replace) the in-RAN marking layer."""
         self.marker = marker
@@ -62,12 +74,31 @@ class CentralUnitUserPlane:
         """Process a downlink datagram from the 5G core for ``ue_id``."""
         sdap = self._sdap.get(ue_id)
         if sdap is None:
+            if self.drop_unknown_ue:
+                self.unknown_ue_packets += 1
+                return
             raise KeyError(f"UE {ue_id} is not attached to {self.name}")
         self.downlink_packets += 1
         packet.stamp("cu_ingress", self._sim.now)
         drb_id = sdap.drb_for_packet(packet)
         self.marker.on_downlink_packet(packet, ue_id, drb_id, self._sim.now)
         self._pdcp[(ue_id, drb_id)].submit(packet)
+
+    def resubmit_downlink(self, ue_id: UeId, drb_id: DrbId,
+                          packet: Packet) -> None:
+        """Enqueue a handover-forwarded SDU on the target cell's bearer.
+
+        Forwarded SDUs were already observed (and possibly marked) by the
+        source cell's marker, so they enter PDCP directly -- the Xn
+        data-forwarding path, not a second trip through SDAP/marking.  SDUs
+        racing a further detach are dropped like any unknown-UE packet.
+        """
+        pdcp = self._pdcp.get((ue_id, drb_id))
+        if pdcp is None:
+            self.unknown_ue_packets += 1
+            return
+        packet.stamp("cu_ingress", self._sim.now)
+        pdcp.submit(packet)
 
     # ------------------------------------------------------------------ #
     # Uplink

@@ -38,13 +38,27 @@ class DistributedUnit:
         #: iterates these directly instead of hashing DrbKeys per slot.
         self._ue_entities: dict[UeId, tuple[RlcEntity, ...]] = {}
         self._pull_rotation: dict[UeId, int] = {}
+        #: Reporting suffix per UE ("#a2" after the second attach of a mobile
+        #: UE) so bearer sample streams stay unique across re-attachments.
+        self._bearer_tags: dict[UeId, str] = {}
+        #: Mobility sets this: downlink SDUs racing a detach over F1-U are
+        #: dropped (and counted) instead of raising for the missing entity.
+        self.drop_orphan_sdus = False
+        self.orphan_sdus = 0
         f1u.connect_du(self.handle_downlink_sdu)
 
     # ------------------------------------------------------------------ #
     # UE attachment
     # ------------------------------------------------------------------ #
-    def attach_ue(self, ue: UeContext) -> None:
-        """Create the RLC entities for a UE and register it with the MAC."""
+    def attach_ue(self, ue: UeContext, *, bearer_tag: str = "",
+                  register_mac: bool = True) -> None:
+        """Create the RLC entities for a UE and register it with the MAC.
+
+        ``bearer_tag`` suffixes the UE's bearer labels in queue reports (a
+        handed-over UE's fresh bearers must not alias its old sample
+        streams); ``register_mac=False`` defers MAC service -- the handover
+        interruption window -- until :meth:`register_with_mac` is called.
+        """
         drb_ids: list[DrbId] = []
         entities: list[RlcEntity] = []
         for drb_config in ue.config.drb_configs():
@@ -60,6 +74,13 @@ class DistributedUnit:
         self._ue_drbs[ue.ue_id] = drb_ids
         self._ue_entities[ue.ue_id] = tuple(entities)
         self._pull_rotation[ue.ue_id] = 0
+        self._bearer_tags[ue.ue_id] = bearer_tag
+        if register_mac:
+            self.register_with_mac(ue)
+
+    def register_with_mac(self, ue: UeContext) -> None:
+        """Give the MAC this UE's backlog/pull callbacks (start of service)."""
+        entities = self._ue_entities[ue.ue_id]
         # The MAC polls the backlog every slot for every UE; give it the
         # cheapest possible callable for the dominant bearer layouts.
         if len(entities) == 1:
@@ -76,6 +97,22 @@ class DistributedUnit:
             ue.ue_id, ue.channel,
             backlog_bytes=backlog,
             pull=lambda grant, ue_id=ue.ue_id: self.pull_for_ue(ue_id, grant))
+
+    def detach_ue(self, ue_id: UeId) -> list[tuple[DrbId, RlcEntity]]:
+        """Remove a UE's bearers and MAC registration (handover departure).
+
+        Returns the released ``(drb_id, entity)`` pairs in bearer order; the
+        caller (the mobility manager) decides whether their queued SDUs are
+        forwarded to the target cell or flushed.
+        """
+        drb_ids = self._ue_drbs.pop(ue_id, [])
+        entities = self._ue_entities.pop(ue_id, ())
+        self._pull_rotation.pop(ue_id, None)
+        self._bearer_tags.pop(ue_id, None)
+        for drb_id in drb_ids:
+            self._rlc.pop(DrbKey(ue_id, drb_id), None)
+        self.mac.unregister_ue(ue_id)
+        return list(zip(drb_ids, entities))
 
     def _make_status_sender(self, ue_id: UeId, drb_id: DrbId):
         def send_status(highest_txed_sn, highest_delivered_sn, timestamp):
@@ -94,6 +131,10 @@ class DistributedUnit:
         """Enqueue a PDCP SDU into its bearer's RLC queue."""
         entity = self._rlc.get(DrbKey(ue_id, drb_id))
         if entity is None:
+            if self.drop_orphan_sdus:
+                # The UE detached while this SDU was crossing F1-U.
+                self.orphan_sdus += 1
+                return
             raise KeyError(f"no RLC entity for ue{ue_id}/drb{drb_id}")
         entity.enqueue(sn, packet)
 
@@ -162,6 +203,17 @@ class DistributedUnit:
     def rlc_items(self):
         """Live (DrbKey, entity) view of every bearer, registration order."""
         return self._rlc.items()
+
+    def labeled_rlc_items(self) -> list[tuple[str, RlcEntity]]:
+        """(label, entity) for every bearer, attach tags applied.
+
+        Labels are ``"ueX/drbY"`` plus the UE's attach tag (``"#a1"`` after
+        its first handover), so a mobile UE's fresh bearers report under
+        names distinct from the ones it had before moving.
+        """
+        tags = self._bearer_tags
+        return [(f"{key}{tags.get(key.ue_id, '')}", entity)
+                for key, entity in self._rlc.items()]
 
     def queue_length_report(self) -> dict[DrbKey, int]:
         """RLC queue length (in SDUs) of every bearer."""

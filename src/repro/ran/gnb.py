@@ -48,15 +48,33 @@ class GNodeB:
     # ------------------------------------------------------------------ #
     # Attachment and wiring
     # ------------------------------------------------------------------ #
-    def attach_ue(self, ue: UeContext) -> None:
-        """Attach a UE: creates CU and DU state and wires the uplink path."""
+    def attach_ue(self, ue: UeContext, *, bearer_tag: str = "",
+                  register_mac: bool = True) -> None:
+        """Attach a UE: creates CU and DU state and wires the uplink path.
+
+        ``bearer_tag`` and ``register_mac`` support handover re-attachment:
+        the tag keeps the fresh bearers' report labels unique, and deferring
+        MAC registration models the interruption window (see
+        :meth:`repro.ran.du.DistributedUnit.attach_ue`).
+        """
         if ue.ue_id in self._ues:
             raise ValueError(f"UE {ue.ue_id} already attached to {self.name}")
         self._ues[ue.ue_id] = ue
         self.cu.attach_ue(ue)
-        self.du.attach_ue(ue)
+        self.du.attach_ue(ue, bearer_tag=bearer_tag, register_mac=register_mac)
         ue.uplink_sink = self.cu.receive_uplink
         ue.uplink.active_ue_count = lambda: len(self._ues)
+
+    def detach_ue(self, ue_id: UeId) -> list:
+        """Detach a UE (handover departure); returns its released bearers.
+
+        The returned ``(drb_id, entity)`` pairs still hold the SDUs that
+        were awaiting a grant; the mobility manager forwards or flushes
+        them per the scenario's handover mode.
+        """
+        self._ues.pop(ue_id, None)
+        self.cu.detach_ue(ue_id)
+        return self.du.detach_ue(ue_id)
 
     def set_marker(self, marker: RanMarker) -> None:
         """Attach the in-RAN marking layer (L4Span, a baseline, or no-op)."""
@@ -96,9 +114,13 @@ class GNodeB:
         return list(self._ues)
 
     def rlc_queue_lengths(self) -> dict[str, int]:
-        """RLC queue length (SDUs) per bearer, keyed by "ueX/drbY"."""
-        return {str(key): length
-                for key, length in self.du.queue_length_report().items()}
+        """RLC queue length (SDUs) per bearer, keyed by "ueX/drbY".
+
+        Labels carry the attach tag of handed-over UEs (``"ue0/drb1#a1"``)
+        so a re-attached UE's fresh bearers never alias its old ones.
+        """
+        return {label: entity.queue_length_sdus
+                for label, entity in self.du.labeled_rlc_items()}
 
     def stop(self) -> None:
         """Stop periodic machinery (MAC slot clock)."""

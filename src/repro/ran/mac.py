@@ -115,6 +115,12 @@ class MacScheduler:
             self._ue_states.append(state)
         self._ues[ue_id] = state
 
+    def unregister_ue(self, ue_id: UeId) -> None:
+        """Stop scheduling a UE (it detached or handed over away)."""
+        state = self._ues.pop(ue_id, None)
+        if state is not None:
+            self._ue_states.remove(state)
+
     @property
     def num_ues(self) -> int:
         """Number of attached UEs."""

@@ -61,6 +61,17 @@ class AirInterface:
             self._ue_streams[ue_id] = streams
         return streams
 
+    def rebind_ue(self, ue_id: int, label: str) -> None:
+        """Point a UE's HARQ/jitter draws at a fresh named stream.
+
+        Called on handover re-attachment: the target cell's air interface
+        must draw from an attach-qualified stream (``"air-ue3#a1"``) so the
+        sequence is identical whether that cell runs in the shared loop or
+        on its own shard (where the old stream's draws never happened).
+        """
+        self._ue_streams[ue_id] = (self._sim.random.stream(label),
+                                   self._sim.random.stream(f"{label}-jitter"))
+
     def transmit(self, ue_id: int,
                  on_delivered: Callable[..., None],
                  on_failed: Callable[..., None],

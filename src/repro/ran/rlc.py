@@ -81,7 +81,7 @@ class RlcEntity:
                  "transmitted_bytes", "backlog_bytes", "_next_delivery_sn",
                  "_pending_delivery", "_skipped_sns", "reassembly_timeout",
                  "_delivery_report_pending", "_status_dirty", "_is_am",
-                 "_max_queue_sdus")
+                 "_max_queue_sdus", "_released", "abandoned_sdus")
 
     def __init__(self, sim: Simulator, ue_id: UeId, config: DrbConfig,
                  air: AirInterface,
@@ -124,6 +124,10 @@ class RlcEntity:
         # delivered block is measurable at scenario event rates.
         self._is_am = config.rlc_mode == RlcMode.AM
         self._max_queue_sdus = config.max_queue_sdus
+        # Set by release() when the UE hands over away from this cell; air
+        # blocks still in flight then complete against a dead entity.
+        self._released = False
+        self.abandoned_sdus = 0
 
     # ------------------------------------------------------------------ #
     # Ingress (from PDCP over F1-U)
@@ -231,6 +235,38 @@ class RlcEntity:
                               self._sim.now)
 
     # ------------------------------------------------------------------ #
+    # Handover release
+    # ------------------------------------------------------------------ #
+    def release(self) -> tuple[list[Packet], int]:
+        """Detach this entity from service (the UE handed over away).
+
+        Returns ``(queued_packets, pending_dropped)``: the SDU packets still
+        waiting for a grant, in the order they would have been served
+        (retransmissions first), and the count of SDUs that had crossed the
+        air but were still parked in the in-order delivery buffer (those are
+        dropped -- the UE left before the gap below them closed).  After
+        release the entity ignores the outcomes of air blocks still in
+        flight (counted in :attr:`abandoned_sdus`) and emits no further
+        F1-U reports.
+        """
+        packets = ([sdu.packet for sdu in self._retx_queue]
+                   + [sdu.packet for sdu in self._tx_queue])
+        pending_dropped = len(self._pending_delivery)
+        self._retx_queue.clear()
+        self._tx_queue.clear()
+        self._pending_delivery.clear()
+        self._skipped_sns.clear()
+        self.backlog_bytes = 0
+        self._status_dirty = False
+        self._released = True
+        return packets, pending_dropped
+
+    @property
+    def released(self) -> bool:
+        """True once :meth:`release` detached this entity from service."""
+        return self._released
+
+    # ------------------------------------------------------------------ #
     # Transmission outcome handling
     # ------------------------------------------------------------------ #
     def _on_sdu_transmitted(self, sdu: RlcSdu) -> None:
@@ -243,6 +279,9 @@ class RlcEntity:
                            self._on_sdu_failed, sdu)
 
     def _on_sdu_delivered(self, sdu: RlcSdu, delivery_time: float) -> None:
+        if self._released:
+            self.abandoned_sdus += 1
+            return
         sdu.delivered_time = delivery_time
         self.delivered_sdus += 1
         sn = sdu.sn
@@ -295,7 +334,7 @@ class RlcEntity:
 
     def _um_reassembly_expiry(self, received_sn: int) -> None:
         """UM reassembly timer: give up on gaps below an SDU already received."""
-        if received_sn < self._next_delivery_sn:
+        if self._released or received_sn < self._next_delivery_sn:
             return
         for sn in range(self._next_delivery_sn, received_sn):
             if sn not in self._pending_delivery:
@@ -304,10 +343,15 @@ class RlcEntity:
 
     def _report_delivery(self) -> None:
         self._delivery_report_pending = False
+        if self._released:
+            return
         self._send_status(self.highest_txed_sn, self.highest_delivered_sn,
                           self._sim.now)
 
     def _on_sdu_failed(self, sdu: RlcSdu, failure_time: float) -> None:
+        if self._released:
+            self.abandoned_sdus += 1
+            return
         if self._is_am and sdu.retransmissions < 8:
             sdu.retransmissions += 1
             sdu.remaining = sdu.size

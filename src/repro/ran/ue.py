@@ -72,9 +72,14 @@ class UplinkModel:
 
     def __init__(self, sim: Simulator, ue_id: UeId,
                  base_delay: float = ms(4.0), jitter: float = ms(2.0),
-                 per_ue_load: float = ms(0.05)) -> None:
+                 per_ue_load: float = ms(0.05),
+                 stream_label: str = "") -> None:
         self._sim = sim
-        self._stream = f"uplink-ue{ue_id}"
+        # ``stream_label`` overrides the default stream name: a handed-over
+        # UE draws from a fresh attach-qualified stream so the draw sequence
+        # is identical whether its new cell runs in the shared loop or on a
+        # different shard (the sharded determinism contract).
+        self._stream = stream_label or f"uplink-ue{ue_id}"
         # One uplink draw happens per ACK; cache the generator instead of a
         # name lookup per call (same stream, same variate sequence).
         self._rng = sim.random.stream(self._stream)
@@ -95,20 +100,30 @@ class UeContext:
     """Run-time state of one UE attached to the gNB."""
 
     def __init__(self, sim: Simulator, config: UeConfig,
-                 channel: ChannelModel) -> None:
+                 channel: ChannelModel, stream_tag: str = "") -> None:
         self._sim = sim
         self.config = config
         self.ue_id: UeId = config.ue_id
         self.channel = channel
-        self.uplink = UplinkModel(sim, config.ue_id,
-                                  base_delay=config.uplink_base_delay,
-                                  jitter=config.uplink_jitter)
+        #: "" for the initial attach, "#aN" after the N-th handover: every
+        #: per-UE random stream of this context is qualified by it.
+        self.stream_tag = stream_tag
+        self.uplink = UplinkModel(
+            sim, config.ue_id,
+            base_delay=config.uplink_base_delay,
+            jitter=config.uplink_jitter,
+            stream_label=(f"uplink-ue{config.ue_id}{stream_tag}"
+                          if stream_tag else ""))
         self._receivers: dict[int, PacketSink] = {}
         self._default_receiver: Optional[PacketSink] = None
         #: set by the gNB when the UE attaches; carries uplink packets back in.
         self.uplink_sink: Optional[Callable[[Packet, UeId], None]] = None
         self.delivered_packets = 0
         self.delivered_bytes = 0
+        #: Uplink packets drawn and scheduled but not yet handed to the gNB;
+        #: the sharded synchronizer reads this to prove a boundary channel
+        #: has drained before widening its windows.
+        self.inflight_uplinks = 0
 
     # ------------------------------------------------------------------ #
     # Client-side endpoints
@@ -139,5 +154,11 @@ class UeContext:
         """Send an uplink packet (ACK / application feedback) toward the gNB."""
         if self.uplink_sink is None:
             raise RuntimeError(f"UE {self.ue_id} is not attached to a gNB")
-        self._sim.schedule(self.uplink.delay(), self.uplink_sink, packet,
-                           self.ue_id)
+        self.inflight_uplinks += 1
+        self._sim.schedule(self.uplink.delay(), self._uplink_arrive, packet)
+
+    def _uplink_arrive(self, packet: Packet) -> None:
+        self.inflight_uplinks -= 1
+        sink = self.uplink_sink
+        if sink is not None:
+            sink(packet, self.ue_id)

@@ -1,0 +1,94 @@
+"""Consistency checks between the docs tree and the code.
+
+``docs/scenarios.md`` documents the full spec schema, every registered
+component name and every preset; these tests fail when a registration or a
+spec field is added (or renamed) without updating the doc — the doc cannot
+silently rot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from pathlib import Path
+
+import pytest
+
+import repro.experiments.presets  # noqa: F401  (preset registration)
+import repro.experiments.spec as spec_module
+from repro.registry import (CC_SENDERS, CHANNEL_PROFILES, MARKERS,
+                            SCENARIO_PRESETS, SCHEDULERS, WORKLOADS)
+
+DOCS = Path(__file__).resolve().parent.parent / "docs"
+
+
+@pytest.fixture(scope="module")
+def scenarios_md() -> str:
+    return (DOCS / "scenarios.md").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def scenarios_tokens(scenarios_md) -> set[str]:
+    """Every backtick-quoted token in the doc.
+
+    Newlines are excluded from tokens so the ``` fences of code blocks
+    cannot desynchronise the backtick pairing.
+    """
+    return set(re.findall(r"`([^`\n]+)`", scenarios_md))
+
+
+def test_docs_tree_exists():
+    assert (DOCS / "architecture.md").is_file()
+    assert (DOCS / "scenarios.md").is_file()
+
+
+@pytest.mark.parametrize("registry", [
+    CC_SENDERS, MARKERS, CHANNEL_PROFILES, SCHEDULERS, WORKLOADS,
+    SCENARIO_PRESETS,
+], ids=lambda r: r.kind)
+def test_every_registered_name_documented(registry, scenarios_tokens):
+    for name in registry.names(include_aliases=True):
+        assert name in scenarios_tokens, (
+            f"{registry.kind} {name!r} is registered but missing from "
+            f"docs/scenarios.md")
+
+
+@pytest.mark.parametrize("cls", [
+    spec_module.ScenarioSpec, spec_module.CellSpec, spec_module.UeSpec,
+    spec_module.ShardingSpec, spec_module.MobilitySpec,
+    spec_module.HandoverSpec,
+], ids=lambda c: c.__name__)
+def test_every_spec_field_documented(cls, scenarios_tokens):
+    for field in dataclasses.fields(cls):
+        assert field.name in scenarios_tokens, (
+            f"{cls.__name__}.{field.name} exists but is missing from "
+            f"docs/scenarios.md")
+
+
+def test_flow_spec_fields_documented(scenarios_tokens):
+    from repro.workloads.flows import FlowSpec
+    for field in dataclasses.fields(FlowSpec):
+        assert field.name in scenarios_tokens
+
+
+def test_documented_presets_actually_exist(scenarios_md):
+    """Reverse direction: the preset table only names real presets."""
+    table = scenarios_md.split("**`SCENARIO_PRESETS`**", 1)[1]
+    rows = re.findall(r"^\| `([^`]+)`", table, flags=re.MULTILINE)
+    assert rows, "preset table not found in docs/scenarios.md"
+    for name in rows:
+        assert name in SCENARIO_PRESETS, (
+            f"docs/scenarios.md documents unknown preset {name!r}")
+    # ... and misses none.
+    documented = set(rows)
+    for name in SCENARIO_PRESETS.names():
+        assert name in documented
+
+
+def test_documented_defaults_match_spec(scenarios_md):
+    """Spot-check load-bearing defaults the doc states as values."""
+    spec = spec_module.ScenarioSpec()
+    assert f"`{spec.mobility.interruption_s:.3f}`" == "`0.020`"
+    assert "`0.020`" in scenarios_md
+    assert spec.mobility.ho_mode == "forward"
+    assert spec.sharding.adaptive_windows is True
