@@ -155,6 +155,43 @@ def test_scenario_handover_adaptive_vs_fixed_windows(benchmark):
     assert len(adaptive.handovers) == 2
 
 
+def test_scenario_dense_cell_population(benchmark):
+    """Throughput-of-simulation of the population kernel vs full simulation.
+
+    The metric is *simulated-UE-seconds per wall-second*: the fully
+    simulated reference (8 packet-exact UEs on a static channel) measures
+    the per-UE cost of the exact path, the dense-cell preset carries 1002
+    UEs (2 exact + 1000 aggregated) through the vectorized background
+    kernel.  The acceptance floor for the kernel is a 100x
+    throughput-of-simulation gain over simulating every UE exactly.
+    """
+    reference = ScenarioConfig(duration_s=scaled_duration(1.0), seed=7,
+                               num_ues=8, cc_name="cubic",
+                               channel_profile="static")
+    start = time.perf_counter()
+    full = run_scenario(reference)
+    full_elapsed = time.perf_counter() - start
+    full_ue_s = full.simulated_ue_seconds() / full_elapsed
+
+    spec = dataclasses.replace(make_preset("dense-cell"),
+                               duration_s=scaled_duration(6.0))
+    dense = benchmark.pedantic(
+        lambda: run_scenario(spec), rounds=1, iterations=1)
+    elapsed = benchmark.stats.stats.min
+    dense_ue_s = dense.simulated_ue_seconds() / elapsed
+    attach_rows(
+        benchmark, [dense.summary()],
+        events=dense.events_processed,
+        events_per_sec_best=dense.events_processed / elapsed,
+        ue_seconds_per_sec_best=dense_ue_s,
+        full_sim_ue_seconds_per_sec=full_ue_s,
+        population_speedup=(dense_ue_s / full_ue_s if full_ue_s else 0.0))
+    assert dense.background["n_background"] == 1000
+    assert dense.total_goodput_mbps() > 0
+    assert dense.background_throughput_mbps() > 0
+    assert dense_ue_s >= 100 * full_ue_s
+
+
 def test_scenario_events_deterministic():
     """The same spec processes the identical event count on repeat runs."""
     first = run_scenario(_prague_config(2.0))

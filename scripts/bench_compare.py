@@ -36,7 +36,8 @@ DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
 WARN_ONLY_ENV = "REPRO_BENCH_WARN_ONLY"
 
 #: extra_info keys treated as throughput metrics (higher is better).
-RATE_KEYS = ("events_per_sec_best", "packets_per_sec_best")
+RATE_KEYS = ("events_per_sec_best", "packets_per_sec_best",
+             "ue_seconds_per_sec_best")
 
 
 def latest_run(storage: Path) -> Path:

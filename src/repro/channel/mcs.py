@@ -109,6 +109,19 @@ def cqi_from_snr_array(snr_db: np.ndarray) -> np.ndarray:
     return np.clip(index, 0, 15)
 
 
+#: Efficiency column as an array for the vectorized mapper below.
+_CQI_EFFICIENCY_ARRAY = np.asarray(_CQI_EFFICIENCIES)
+
+
+def efficiency_from_snr_array(snr_db: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`efficiency_from_snr`: one table gather per batch.
+
+    Used by :class:`repro.ran.background.BackgroundPopulation` to map the
+    SNR array of a whole background-UE population in one numpy pass.
+    """
+    return _CQI_EFFICIENCY_ARRAY[cqi_from_snr_array(snr_db)]
+
+
 def mcs_from_snr_array(snr_db: np.ndarray) -> np.ndarray:
     """Vectorized :func:`mcs_from_snr`: one table gather per trace batch.
 
@@ -133,6 +146,7 @@ __all__ = [
     "cqi_from_snr_array",
     "efficiency_from_cqi",
     "efficiency_from_snr",
+    "efficiency_from_snr_array",
     "mcs_from_snr",
     "mcs_from_snr_array",
     "snr_for_cqi",

@@ -41,11 +41,45 @@ WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 #: Environment variable overriding the multiprocessing start method.
 START_METHOD_ENV = "REPRO_SWEEP_START_METHOD"
 
+#: Environment variable overriding the host's core budget (defaults to
+#: ``os.cpu_count()``): the cap on effective ``sweep workers x shards``
+#: when both parallel layers are active on one host.
+CORE_BUDGET_ENV = "REPRO_CORE_BUDGET"
+
+#: Exported to worker processes while a parallel sweep runs, so nested
+#: sharded scenarios (see :func:`repro.experiments.sharded.build_shard_plan`)
+#: can divide the core budget by the number of sweep workers already active.
+ACTIVE_WORKERS_ENV = "REPRO_SWEEP_ACTIVE_WORKERS"
+
 
 def default_workers() -> int:
     """Worker count from :data:`WORKERS_ENV`, defaulting to 1 (sequential)."""
     try:
         return max(1, int(os.environ.get(WORKERS_ENV, "1")))
+    except ValueError:
+        return 1
+
+
+def core_budget() -> int:
+    """The host's core budget: :data:`CORE_BUDGET_ENV` or ``os.cpu_count()``.
+
+    Both parallel layers (sweep workers, scenario shards) consult this so
+    their product never oversubscribes one host; setting the environment
+    variable raises (or lowers) the cap explicitly.
+    """
+    try:
+        value = int(os.environ.get(CORE_BUDGET_ENV, "0"))
+    except ValueError:
+        value = 0
+    if value > 0:
+        return value
+    return os.cpu_count() or 1
+
+
+def active_sweep_workers() -> int:
+    """Sweep workers currently active on this host (1 outside a sweep)."""
+    try:
+        return max(1, int(os.environ.get(ACTIVE_WORKERS_ENV, "1")))
     except ValueError:
         return 1
 
@@ -155,30 +189,50 @@ class SweepRunner:
                       seeds: list) -> list:
         total = len(cells)
         workers = min(self.workers, total)
+        budget = core_budget()
+        if workers > budget:
+            warnings.warn(
+                f"sweep workers={workers} exceeds the host's core budget "
+                f"{budget}; clamping to {budget} worker(s) (override with "
+                f"{CORE_BUDGET_ENV})", RuntimeWarning, stacklevel=3)
+            workers = budget
+        # Workers inherit the environment, so nested sharded scenarios see
+        # how many sweep processes already share the core budget.
+        previous = os.environ.get(ACTIVE_WORKERS_ENV)
+        os.environ[ACTIVE_WORKERS_ENV] = str(workers)
         try:
-            # Pool creation is the only step allowed to trigger the
-            # sequential fallback; errors from cell functions must surface.
-            context = (multiprocessing.get_context(self.start_method)
-                       if self.start_method else multiprocessing.get_context())
-            pool = ProcessPoolExecutor(max_workers=workers,
-                                       mp_context=context)
-        except (ImportError, NotImplementedError, OSError,
-                PermissionError) as exc:
-            raise _PoolUnavailable(str(exc)) from exc
-        with pool:
-            futures = [pool.submit(_call_cell, cell_fn, cell, seed)
-                       for cell, seed in zip(cells, seeds)]
-            if self.progress is not None:
-                pending = set(futures)
-                done_count = 0
-                while pending:
-                    done, pending = wait(pending,
-                                         return_when=FIRST_COMPLETED)
-                    done_count += len(done)
-                    self.progress(done_count, total)
-            # Ordered collection: grid order, not completion order.  Any
-            # worker exception re-raises here, on the coordinating process.
-            return [future.result() for future in futures]
+            try:
+                # Pool creation is the only step allowed to trigger the
+                # sequential fallback; errors from cell functions must
+                # surface.
+                context = (multiprocessing.get_context(self.start_method)
+                           if self.start_method
+                           else multiprocessing.get_context())
+                pool = ProcessPoolExecutor(max_workers=workers,
+                                           mp_context=context)
+            except (ImportError, NotImplementedError, OSError,
+                    PermissionError) as exc:
+                raise _PoolUnavailable(str(exc)) from exc
+            with pool:
+                futures = [pool.submit(_call_cell, cell_fn, cell, seed)
+                           for cell, seed in zip(cells, seeds)]
+                if self.progress is not None:
+                    pending = set(futures)
+                    done_count = 0
+                    while pending:
+                        done, pending = wait(pending,
+                                             return_when=FIRST_COMPLETED)
+                        done_count += len(done)
+                        self.progress(done_count, total)
+                # Ordered collection: grid order, not completion order.  Any
+                # worker exception re-raises here, on the coordinating
+                # process.
+                return [future.result() for future in futures]
+        finally:
+            if previous is None:
+                os.environ.pop(ACTIVE_WORKERS_ENV, None)
+            else:
+                os.environ[ACTIVE_WORKERS_ENV] = previous
 
 
 def run_cells(cell_fn: Callable, cells: Iterable, workers: Optional[int] = 1,

@@ -110,6 +110,10 @@ class ScenarioResult:
     #: Synchronizer statistics of a sharded run (window count, boundary
     #: exchanges, adaptive flag); empty for single-loop runs.
     sharding_stats: dict = field(default_factory=dict)
+    #: Aggregate background-population counters summed over cells
+    #: (``n_background``, ``arrival_bytes``, ``served_bytes``,
+    #: ``backlog_bytes``, ``active_ue_seconds``); empty without a population.
+    background: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     def flow(self, flow_id: int) -> FlowResult:
@@ -146,6 +150,25 @@ class ScenarioResult:
         """Sum of all flows' average goodput in Mbit/s."""
         return sum(f.goodput_mbps for f in self.flows)
 
+    def background_throughput_mbps(self) -> float:
+        """Aggregate served rate of the background population, Mbit/s."""
+        if not self.background or self.duration_s <= 0:
+            return 0.0
+        return to_mbps(self.background.get("served_bytes", 0.0)
+                       / self.duration_s)
+
+    def simulated_ue_seconds(self) -> float:
+        """Total simulated UE-time of this run (foreground + background).
+
+        Dividing by the wall-clock run time yields the bench metric
+        *simulated-UE-seconds per second* -- the scale measure the dense-cell
+        population kernel is built for.
+        """
+        foreground = len(self.config.resolved_ues())
+        cells = len(self.config.resolved_cells())
+        background = self.config.population.n_background * cells
+        return (foreground + background) * self.duration_s
+
     def mean_per_ue_throughput_mbps(self) -> float:
         """Mean per-UE average received rate in Mbit/s."""
         if not self.per_ue_throughput:
@@ -170,6 +193,8 @@ class ScenarioResult:
                                 / len(self.queue_length_samples)
                                 if self.queue_length_samples else 0.0),
             "marked_packets": self.marker_summary.get("marked_packets", 0),
+            "background_ues": self.background.get("n_background", 0),
+            "background_goodput_mbps": self.background_throughput_mbps(),
             "events": self.events_processed,
         }
 
@@ -211,6 +236,18 @@ class BuiltScenario:
         self.core = FiveGCore(self.sim)
         for gnb in self.gnbs.values():
             gnb.uplink_sink = _UplinkAdapter(self.core)
+        #: Per-cell aggregated background populations; empty when the spec's
+        #: population block is disabled (the numpy kernel is never imported).
+        self.backgrounds: dict[int, object] = {}
+        if config.population.enabled:
+            from repro.ran.background import BackgroundPopulation
+            for cell_spec in self.cell_specs:
+                gnb = self.gnbs[cell_spec.cell_id]
+                population = BackgroundPopulation(
+                    self.sim, cell_spec.cell_id, gnb.cell, config.population,
+                    marker=self.markers[cell_spec.cell_id])
+                gnb.du.mac.attach_background(population)
+                self.backgrounds[cell_spec.cell_id] = population
         self.ues: dict[int, UeContext] = {}
         self.ue_specs: dict[int, UeSpec] = {ue.ue_id: ue
                                             for ue in config.resolved_ues()}
@@ -360,6 +397,27 @@ class BuiltScenario:
         """The marker of the cell serving the flow's UE."""
         return self.markers[self.ue_specs[spec.ue_id].cell_id]
 
+    def flow_mark_counts(self) -> dict[int, tuple[int, int]]:
+        """Per-flow ``(marked, downlink)`` packet counts across *all* cells.
+
+        A mobile flow leaves one :class:`FlowRecord` behind in every cell it
+        visited, so its figure-level ``marked_fraction`` must merge them; the
+        flow id is recovered from the record's five-tuple (``dst_port``
+        encodes it), which also covers shard scenarios serving a visiting UE
+        whose flow spec lives on another shard.
+        """
+        counts: dict[int, list[int]] = {}
+        for marker in self.markers.values():
+            if not isinstance(marker, L4SpanLayer):
+                continue
+            for five_tuple, record in marker.flows.items():
+                flow_id = five_tuple.dst_port - 50_000
+                entry = counts.setdefault(flow_id, [0, 0])
+                entry[0] += record.marked_packets
+                entry[1] += record.downlink_packets
+        return {flow_id: (marked, downlink)
+                for flow_id, (marked, downlink) in counts.items()}
+
     def marker_cell_summaries(self) -> list[tuple[int, dict]]:
         """Per-cell ``(cell_id, summary)`` pairs, in cell declaration order."""
         def one(marker) -> dict:
@@ -393,6 +451,7 @@ class BuiltScenario:
         """Package the collectors' measurements into a ScenarioResult."""
         config = self.config
         flow_results: list[FlowResult] = []
+        mark_counts = self.flow_mark_counts()
         for spec in self.flow_specs:
             sender = self.senders[spec.flow_id]
             owd_samples = self.owd.samples.get(spec.flow_id, [])
@@ -401,13 +460,8 @@ class BuiltScenario:
                 duration = min(duration, spec.stop_time - spec.start_time)
             goodput = self.throughput.average_rate(
                 spec.flow_id, duration=max(duration, 1e-9))
-            marked_fraction = 0.0
-            marker = self._marker_for_flow(spec)
-            if isinstance(marker, L4SpanLayer):
-                record = marker.flow_record(
-                    self.senders[spec.flow_id].five_tuple)
-                if record is not None:
-                    marked_fraction = record.mark_fraction
+            marked, downlink = mark_counts.get(spec.flow_id, (0, 0))
+            marked_fraction = marked / downlink if downlink else 0.0
             flow_results.append(FlowResult(
                 flow_id=spec.flow_id, ue_id=spec.ue_id, cc_name=spec.cc_name,
                 label=spec.label, owd_samples=owd_samples,
@@ -429,6 +483,12 @@ class BuiltScenario:
             attach_data_gaps(
                 handovers, self.owd.sample_times,
                 {spec.flow_id: spec.ue_id for spec in self.flow_specs})
+        background: dict = {}
+        if self.backgrounds:
+            from repro.ran.background import merge_background_summaries
+            background = merge_background_summaries(
+                [population.summary()
+                 for population in self.backgrounds.values()])
         return ScenarioResult(
             config=config,
             flows=flow_results,
@@ -441,7 +501,8 @@ class BuiltScenario:
                                     if self.rate_probe is not None else []),
             duration_s=config.duration_s,
             events_processed=events,
-            handovers=handovers)
+            handovers=handovers,
+            background=background)
 
 
 def mobility_topology(spec: ScenarioSpec) -> MobilityTopology:

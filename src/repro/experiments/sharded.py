@@ -78,6 +78,7 @@ from repro.experiments.scenario import (BuiltScenario, FlowResult,
                                         ScenarioResult, ScenarioSpec,
                                         attach_data_gaps, build_scenario,
                                         mobility_topology, ue_ip_address)
+from repro.experiments.runner import active_sweep_workers, core_budget
 from repro.experiments.spec import MobilitySpec, ShardingSpec
 from repro.metrics.collectors import (DelayBreakdownAccumulator,
                                       ThroughputCollector, TimeSeries,
@@ -189,11 +190,32 @@ def build_shard_plan(spec: ScenarioSpec,
             raise ShardPlanError(
                 f"--shards {shards} conflicts with the explicit map's "
                 f"{num_shards} shard(s); drop one of the two")
+        active = active_sweep_workers()
+        if active > 1 and num_shards * active > core_budget():
+            # An explicit map cannot be clamped without breaking the
+            # requested placement; warn about the oversubscription instead.
+            warnings.warn(
+                f"{active} sweep workers x {num_shards} explicit shards "
+                f"exceeds the host's core budget {core_budget()}; consider "
+                "fewer workers or REPRO_CORE_BUDGET",
+                RuntimeWarning, stacklevel=2)
     else:
         num_shards = shards if shards is not None else sharding.shards
         if num_shards is None:
             num_shards = min(len(cell_ids), os.cpu_count() or 1)
         num_shards = max(1, min(int(num_shards), len(cell_ids)))
+        active = active_sweep_workers()
+        if active > 1:
+            # Nested parallelism: this scenario runs inside a sweep worker,
+            # so workers x shards must stay within the host's core budget.
+            allowed = max(1, core_budget() // active)
+            if num_shards > allowed:
+                warnings.warn(
+                    f"{active} sweep workers x {num_shards} shards exceeds "
+                    f"the host's core budget {core_budget()}; clamping to "
+                    f"{allowed} shard(s) per scenario (override with "
+                    "REPRO_CORE_BUDGET)", RuntimeWarning, stacklevel=2)
+                num_shards = allowed
         assignment = {cell: index % num_shards
                       for index, cell in enumerate(cell_ids)}
     return ShardPlan(assignment=assignment, num_shards=num_shards,
@@ -410,6 +432,12 @@ class ShardResult:
     mobile_rate_events: dict[int, tuple[list[float], list[int]]] = \
         field(default_factory=dict)
     handover_records: list[dict] = field(default_factory=list)
+    #: Per-flow ``(marked, downlink)`` packet counts over this shard's
+    #: markers — a mobile flow's ``marked_fraction`` is recomputed at merge
+    #: time from the counts summed across every shard that served it.
+    flow_mark_counts: dict[int, tuple[int, int]] = field(default_factory=dict)
+    #: Aggregate background-population counters of this shard's cells.
+    background: dict = field(default_factory=dict)
 
 
 class _MobileWanPath:
@@ -656,7 +684,9 @@ class ShardHost:
             windows=self.windows,
             mobile_owd=mobile_owd,
             mobile_rate_events=mobile_rate_events,
-            handover_records=records)
+            handover_records=records,
+            flow_mark_counts=scenario.flow_mark_counts(),
+            background=result.background)
 
 
 # --------------------------------------------------------------------- #
@@ -792,6 +822,15 @@ def merge_shard_results(config: ScenarioSpec, plan: ShardPlan,
     mobile_ues: set[int] = set()
     if config.mobility.enabled:
         mobile_ues = mobility_topology(config).mobile_ue_ids()
+    # A mobile flow leaves flow records behind in every cell (shard) it
+    # visited; sum the per-shard mark counts so its merged marked_fraction
+    # covers them all, exactly like the single loop's cross-cell merge.
+    mark_counts: dict[int, list[int]] = {}
+    for r in results:
+        for flow_id, (marked, downlink) in r.flow_mark_counts.items():
+            entry = mark_counts.setdefault(flow_id, [0, 0])
+            entry[0] += marked
+            entry[1] += downlink
     merged_owd_times: dict[int, list[float]] = {}
     mobile_flow_bytes: dict[int, int] = {}
     replay = ThroughputCollector(window=config.throughput_window)
@@ -819,10 +858,12 @@ def merge_shard_results(config: ScenarioSpec, plan: ShardPlan,
             duration = config.duration_s - spec.start_time
             if spec.stop_time is not None:
                 duration = min(duration, spec.stop_time - spec.start_time)
+            marked, downlink = mark_counts.get(spec.flow_id, [0, 0])
             flow = dataclasses.replace(
                 flow,
                 owd_samples=[v for _t, v in pairs],
                 goodput_bytes_per_s=total_bytes / max(duration, 1e-9),
+                marked_fraction=marked / downlink if downlink else 0.0,
                 throughput_series=replay.series.get(spec.flow_id,
                                                     TimeSeries()))
         ordered_flows.append(flow)
@@ -874,6 +915,12 @@ def merge_shard_results(config: ScenarioSpec, plan: ShardPlan,
                          {flow.flow_id: flow.ue_id
                           for flow in resolved_flows})
 
+    background: dict = {}
+    if any(r.background for r in results):
+        from repro.ran.background import merge_background_summaries
+        background = merge_background_summaries(
+            [r.background for r in results])
+
     return ScenarioResult(
         config=config,
         flows=ordered_flows,
@@ -887,7 +934,8 @@ def merge_shard_results(config: ScenarioSpec, plan: ShardPlan,
         duration_s=config.duration_s,
         events_processed=sum(r.events_processed for r in results),
         handovers=handovers,
-        sharding_stats=dict(sharding_stats or {}))
+        sharding_stats=dict(sharding_stats or {}),
+        background=background)
 
 
 # --------------------------------------------------------------------- #

@@ -209,6 +209,88 @@ class MobilitySpec:
         return self
 
 
+#: Workload models understood by the background-population kernel.
+POPULATION_WORKLOADS = ("bulk", "rate")
+
+
+@dataclass
+class PopulationSpec:
+    """Aggregated background-UE population attached to *every* cell.
+
+    Instead of one Python object graph per UE, ``n_background`` UEs per cell
+    are modelled by one vectorized numpy state array (cwnd/backlog/SNR/rate)
+    advanced in batched steps synchronized with the MAC slot loop -- see
+    :mod:`repro.ran.background`.  Foreground flows experience the population
+    only as scheduler contention (an aggregate demand/served-share term), so
+    dense cells (1000+ UEs) run without per-UE events.
+
+    Attributes:
+        n_background: background UEs attached to each cell (0 disables the
+            population entirely; the kernel -- and numpy -- are never touched).
+        workload: ``"bulk"`` (always-backlogged, window-limited senders) or
+            ``"rate"`` (each UE offers a finite rate drawn around
+            ``mean_rate_mbps``).
+        cc_mix: congestion-control mix, name -> share (normalised by the
+            kernel); classifies UEs into L4S/classic response classes for the
+            AIMD window dynamics.  Empty = all classic.
+        mean_rate_mbps: per-UE mean offered rate for the ``"rate"`` workload.
+        snr_mean_db / snr_stddev_db: Gaussian SNR distribution the per-UE
+            link qualities are drawn from (stddev 0 = homogeneous).
+        activity: fraction of the population initially active (0..1).
+        churn_rate_per_s: Poisson rate of arrival/departure flips per cell
+            (0 = static population).
+        update_interval_s: batched kernel cadence; clamped to at least one
+            MAC slot by the kernel.
+    """
+
+    n_background: int = 0
+    workload: str = "bulk"
+    cc_mix: dict[str, float] = field(default_factory=dict)
+    mean_rate_mbps: float = 2.0
+    snr_mean_db: float = 22.0
+    snr_stddev_db: float = 0.0
+    activity: float = 1.0
+    churn_rate_per_s: float = 0.0
+    update_interval_s: float = 0.005
+
+    def __post_init__(self) -> None:
+        # JSON round-trip normalisation: keys arrive as strings already, but
+        # shares may arrive as ints; a deserialized spec must compare equal.
+        self.cc_mix = {str(name): float(share)
+                       for name, share in self.cc_mix.items()}
+
+    @property
+    def enabled(self) -> bool:
+        """True when this block asks for a background population."""
+        return self.n_background > 0
+
+    def validate(self) -> "PopulationSpec":
+        """Check counts, distribution parameters and the CC mix."""
+        if self.n_background < 0:
+            raise ValueError("population.n_background must be >= 0")
+        if self.workload not in POPULATION_WORKLOADS:
+            raise ValueError(
+                f"unknown population workload {self.workload!r}; "
+                f"choose from {POPULATION_WORKLOADS}")
+        if self.workload == "rate" and self.mean_rate_mbps <= 0:
+            raise ValueError("population.mean_rate_mbps must be positive "
+                             "for the 'rate' workload")
+        if self.snr_stddev_db < 0:
+            raise ValueError("population.snr_stddev_db must be >= 0")
+        if not 0.0 <= self.activity <= 1.0:
+            raise ValueError("population.activity must be within [0, 1]")
+        if self.churn_rate_per_s < 0:
+            raise ValueError("population.churn_rate_per_s must be >= 0")
+        if self.update_interval_s <= 0:
+            raise ValueError("population.update_interval_s must be positive")
+        for name, share in self.cc_mix.items():
+            CC_SENDERS.resolve(name)
+            if share <= 0:
+                raise ValueError(
+                    f"population.cc_mix share for {name!r} must be positive")
+        return self
+
+
 @dataclass
 class UeSpec:
     """Per-UE overrides; any field left None inherits the scenario default.
@@ -279,6 +361,9 @@ class ScenarioSpec:
     # Inter-cell handover of UEs between the scenario's cells (off by
     # default; see repro.ran.mobility for the execution semantics).
     mobility: MobilitySpec = field(default_factory=MobilitySpec)
+    # Aggregated background-UE population per cell (off by default; see
+    # repro.ran.background for the vectorized kernel).
+    population: PopulationSpec = field(default_factory=PopulationSpec)
 
     def __post_init__(self) -> None:
         # Normalise the throttle schedule to tuples so a spec deserialized
@@ -378,6 +463,7 @@ class ScenarioSpec:
         """
         MARKERS.resolve(self.resolved_marker() or "none")
         self.sharding.validate()
+        self.population.validate()
         cells = self.resolved_cells()
         cell_ids = {cell.cell_id for cell in cells}
         if self.sharding.mode == "explicit":
@@ -477,6 +563,7 @@ class ScenarioSpec:
             "air": AirInterfaceConfig,
             "l4span_config": L4SpanConfig,
             "sharding": ShardingSpec,
+            "population": PopulationSpec,
         }
         for key, nested_cls in nested.items():
             if key in data and data[key] is not None:

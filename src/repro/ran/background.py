@@ -1,0 +1,286 @@
+"""Vectorized background-UE population: dense cells without per-UE events.
+
+The north star is heavy traffic from very large user populations, but one
+Python object graph per UE (channel, RLC, F1-U, CC state machine) tops out at
+a handful of UEs per cell.  This module implements the hybrid approach: a few
+*foreground* UEs are simulated exactly, packet by packet, while the other
+``n_background`` UEs of the cell live in one :class:`BackgroundPopulation` --
+contiguous numpy arrays of per-UE cwnd/backlog/SNR/rate advanced in batched
+steps synchronized with the MAC slot loop.
+
+Coupling into the exact simulation is deliberately narrow:
+
+* **Scheduler contention.**  Every slot the MAC asks the population for its
+  aggregate demand (an O(1) cached count) and treats it as that many extra
+  round-robin claimants: foreground UEs receive proportionally fewer PRBs and
+  the background's share is accumulated (O(1)) for the next batched step.
+* **Marking/egress.**  Reduced foreground MAC service slows the RLC drain,
+  which the F1-U delivery reports carry into the per-bearer egress-rate
+  estimates and sojourn predictions that DualPI2/L4Span mark from -- so
+  foreground flows see realistic congestion signals without the population
+  injecting per-packet traffic.  Markers that implement
+  ``on_background_aggregate`` additionally receive the population's batched
+  arrival/served byte counters for cell-level telemetry.
+
+Everything random is drawn from the single per-cell named stream
+``background-cell{cell_id}``, so a population is bit-identical across repeat
+runs and across ``--shards 1/2`` splits (shard simulations reuse the master
+seed, and the population is cell-local state).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+try:  # numpy is a declared dependency, but pure-python scenarios never need it
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on broken installs
+    np = None
+
+from repro.cc.factory import is_l4s_algorithm
+from repro.ran.cell import CellConfig
+
+#: Sender MSS used by the window dynamics, bytes.
+BACKGROUND_MSS = 1500
+#: Initial congestion window (RFC 6928's 10 segments), bytes.
+BACKGROUND_INITIAL_CWND = 10 * BACKGROUND_MSS
+#: Window growth/backoff happens against this nominal end-to-end RTT.
+BACKGROUND_NOMINAL_RTT = 0.05
+#: Upper bound on a background sender's window, bytes.
+BACKGROUND_CWND_CAP = 4 * 1024 * 1024
+#: Multiplicative-decrease factors per response class.
+BETA_CLASSIC = 0.7
+BETA_L4S = 0.85
+
+
+def require_numpy() -> None:
+    """Fail with an actionable message when numpy is missing.
+
+    Pure-python scenarios (``population.n_background == 0``) never reach
+    this; only building an actual population needs the vectorized kernel.
+    """
+    if np is None:
+        raise RuntimeError(
+            "the background-population kernel requires numpy "
+            "(a declared dependency -- `pip install numpy`); "
+            "alternatively set population.n_background = 0 to run "
+            "the scenario without aggregated background UEs")
+
+
+class BackgroundPopulation:
+    """All background UEs of one cell, as contiguous numpy state arrays.
+
+    The MAC calls :meth:`on_slot` once per slot with the PRBs granted to the
+    background aggregate; every ``update_interval_s`` worth of slots the
+    kernel advances the whole population in one vectorized step: churn flips,
+    new arrivals into the per-UE backlogs, service of the accumulated PRB
+    budget, and an AIMD window update (classic beta 0.7, L4S beta 0.85,
+    mixed per ``cc_mix``).
+    """
+
+    def __init__(self, sim, cell_id: int, cell: CellConfig, spec,
+                 marker: Optional[object] = None) -> None:
+        require_numpy()
+        spec.validate()
+        self.sim = sim
+        self.cell_id = cell_id
+        self.cell = cell
+        self.spec = spec
+        self.n = int(spec.n_background)
+        self._rng = sim.random.stream(f"background-cell{cell_id}")
+        self._marker_hook = getattr(marker, "on_background_aggregate", None)
+
+        rng = self._rng
+        if spec.snr_stddev_db > 0:
+            self.snr_db = rng.normal(spec.snr_mean_db, spec.snr_stddev_db,
+                                     size=self.n)
+        else:
+            self.snr_db = np.full(self.n, float(spec.snr_mean_db))
+        # Late import: repro.channel.mcs is numpy-typed; keep this module
+        # importable (for require_numpy's message) even without numpy.
+        from repro.channel.mcs import efficiency_from_snr_array
+        self.efficiency = efficiency_from_snr_array(self.snr_db)
+        self.bytes_per_prb = cell.bytes_per_prb(1.0) * self.efficiency
+
+        self.active = rng.random(self.n) < spec.activity
+        self.cwnd = np.full(self.n, float(BACKGROUND_INITIAL_CWND))
+        self.backlog = np.zeros(self.n)
+        self.beta = self._beta_array(spec.cc_mix)
+        if spec.workload == "rate":
+            # Exponentially distributed offered rates around the mean keep a
+            # heavy-ish tail without extra spec knobs.
+            mean_bytes = spec.mean_rate_mbps * 1e6 / 8.0
+            self.offered_rate = rng.exponential(mean_bytes, size=self.n)
+        else:
+            self.offered_rate = None
+            # Bulk senders start with a full window queued in the RAN.
+            self.backlog[self.active] = self.cwnd[self.active]
+
+        # Batched-step bookkeeping.
+        slot = cell.slot_duration
+        self._slots_per_step = max(1, round(spec.update_interval_s / slot))
+        self._slot_count = 0
+        self._pending_prb_slots = 0.0
+        self._last_step_time = float(sim.now)
+        self._finished = False
+
+        # Aggregate telemetry (all additive across cells/shards).
+        self.arrival_bytes_total = 0.0
+        self.served_bytes_total = 0.0
+        self.active_ue_seconds = 0.0
+        self.kernel_steps = 0
+
+        #: O(1) view the MAC reads every slot: number of background UEs
+        #: currently demanding air time (refreshed at each batched step).
+        self.demand_count = int(
+            (self.active & (self.backlog > 0)).sum()) if self.n else 0
+
+    # ------------------------------------------------------------------ #
+    # MAC-facing hot path (called once per slot; must stay O(1))
+    # ------------------------------------------------------------------ #
+    def on_slot(self, served_prbs: int) -> None:
+        """Account one MAC slot; advance the kernel on batch boundaries."""
+        if served_prbs:
+            self._pending_prb_slots += served_prbs
+        self._slot_count += 1
+        if self._slot_count % self._slots_per_step == 0:
+            self._step(self.sim.now)
+
+    # ------------------------------------------------------------------ #
+    # Batched vectorized step
+    # ------------------------------------------------------------------ #
+    def _step(self, now: float) -> None:
+        dt = now - self._last_step_time
+        self._last_step_time = now
+        if dt <= 0:
+            return
+        spec = self.spec
+        rng = self._rng
+        active = self.active
+        backlog = self.backlog
+        cwnd = self.cwnd
+
+        # Arrival/departure churn: Poisson flips, uniformly across the
+        # population.  A flip resets the UE's transport state.
+        if spec.churn_rate_per_s > 0:
+            flips = int(rng.poisson(spec.churn_rate_per_s * dt))
+            if flips:
+                idx = rng.integers(0, self.n, size=flips)
+                active[idx] = ~active[idx]
+                backlog[idx] = 0.0
+                cwnd[idx] = float(BACKGROUND_INITIAL_CWND)
+
+        # New arrivals into the RAN backlogs.  Bulk senders keep a full
+        # window outstanding; rate senders offer rate*dt, still window-capped.
+        window_room = np.maximum(cwnd - backlog, 0.0)
+        if self.offered_rate is None:
+            arrivals = np.where(active, window_room, 0.0)
+        else:
+            arrivals = np.where(
+                active, np.minimum(self.offered_rate * dt, window_room), 0.0)
+        backlog += arrivals
+        self.arrival_bytes_total += float(arrivals.sum())
+
+        # Serve the PRB budget the MAC granted over this interval: equal
+        # PRB shares across demanding UEs (round-robin in expectation), each
+        # converted through its own SNR-derived bytes-per-PRB; one
+        # redistribution pass hands leftovers of drained UEs to the rest.
+        demand = active & (backlog > 0)
+        demanding = int(demand.sum())
+        step_served = 0.0
+        if demanding and self._pending_prb_slots > 0:
+            capacity = np.where(
+                demand,
+                (self._pending_prb_slots / demanding) * self.bytes_per_prb,
+                0.0)
+            served = np.minimum(backlog, capacity)
+            leftover = float((capacity - served).sum())
+            still = demand & (backlog > served)
+            still_count = int(still.sum())
+            if leftover > 0 and still_count:
+                extra = np.where(still, leftover / still_count, 0.0)
+                served += np.minimum(backlog - served, extra)
+            backlog -= served
+            step_served = float(served.sum())
+            self.served_bytes_total += step_served
+            congested = demand & (backlog > 0.5 * cwnd)
+        else:
+            congested = demand
+        self._pending_prb_slots = 0.0
+
+        # AIMD window update: senders that kept more than half a window
+        # queued back off (their class beta); the rest grow additively.
+        relieved = active & ~congested
+        cwnd[congested] *= self.beta[congested]
+        cwnd[relieved] += BACKGROUND_MSS * (dt / BACKGROUND_NOMINAL_RTT)
+        np.clip(cwnd, BACKGROUND_MSS, BACKGROUND_CWND_CAP, out=cwnd)
+
+        self.active_ue_seconds += float(active.sum()) * dt
+        self.kernel_steps += 1
+        if self.offered_rate is None:
+            # Bulk UEs refill next step; an active bulk sender always demands.
+            self.demand_count = int(active.sum())
+        else:
+            self.demand_count = int((active & (backlog > 0)).sum())
+        if self._marker_hook is not None:
+            self._marker_hook(arrival_bytes=float(arrivals.sum()),
+                              served_bytes=step_served,
+                              backlog_bytes=float(backlog.sum()),
+                              now=now)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def finish(self) -> None:
+        """Run a final partial step so trailing service is accounted."""
+        if self._finished:
+            return
+        self._finished = True
+        if self._pending_prb_slots > 0:
+            self._step(self.sim.now)
+
+    def summary(self) -> dict:
+        """Additive aggregate counters for this cell's population."""
+        self.finish()
+        return {
+            "n_background": self.n,
+            "arrival_bytes": self.arrival_bytes_total,
+            "served_bytes": self.served_bytes_total,
+            "backlog_bytes": float(self.backlog.sum()) if self.n else 0.0,
+            "active_ue_seconds": self.active_ue_seconds,
+            "kernel_steps": self.kernel_steps,
+        }
+
+    # ------------------------------------------------------------------ #
+    def _beta_array(self, cc_mix: dict) -> "np.ndarray":
+        """Per-UE multiplicative-decrease factor from the CC mix.
+
+        The population is partitioned deterministically (by index, largest
+        remainder) across the mix entries in sorted-name order, so the class
+        assignment never consumes random variates.
+        """
+        beta = np.full(self.n, BETA_CLASSIC)
+        if not cc_mix or not self.n:
+            return beta
+        total = sum(cc_mix.values())
+        start = 0
+        names = sorted(cc_mix)
+        counts = [int(self.n * cc_mix[name] / total) for name in names]
+        for i in range(self.n - sum(counts)):
+            counts[i % len(counts)] += 1
+        for name, count in zip(names, counts):
+            if is_l4s_algorithm(name):
+                beta[start:start + count] = BETA_L4S
+            start += count
+        return beta
+
+
+def merge_background_summaries(summaries: list) -> dict:
+    """Sum per-cell population summaries into one scenario-level dict."""
+    merged: dict = {}
+    for summary in summaries:
+        if not summary:
+            continue
+        for key, value in summary.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged

@@ -86,6 +86,8 @@ class MacScheduler:
         #: Registration-ordered view of the states; the slot loop iterates
         #: this list instead of allocating a ``dict.values()`` view per slot.
         self._ue_states: list[_UeSchedulingState] = []
+        #: Aggregated background population sharing the cell, or None.
+        self._background = None
         self._rr_offset = 0
         self.slots = 0
         self.busy_slots = 0
@@ -121,6 +123,16 @@ class MacScheduler:
         if state is not None:
             self._ue_states.remove(state)
 
+    def attach_background(self, population) -> None:
+        """Attach the cell's aggregated background population.
+
+        The population (see :class:`repro.ran.background.BackgroundPopulation`)
+        enters every slot as ``population.demand_count`` extra round-robin
+        claimants; the PRBs not granted to foreground UEs are accumulated via
+        ``population.on_slot`` and served by its next batched kernel step.
+        """
+        self._background = population
+
     @property
     def num_ues(self) -> int:
         """Number of attached UEs."""
@@ -147,14 +159,25 @@ class MacScheduler:
         active = [state for state in states if state.backlog_bytes() > 0]
         decay = self._decay
         keep = 1.0 - decay
+        background = self._background
+        bg_demand = background.demand_count if background is not None else 0
         if not active:
+            if background is not None:
+                # The background aggregate owns the whole cell this slot.
+                if bg_demand:
+                    self.busy_slots += 1
+                    background.on_slot(self.cell.num_prb)
+                else:
+                    background.on_slot(0)
             for state in states:
                 average = state.average_throughput * keep
                 state.average_throughput = average if average > 1.0 else 1.0
             return
         self.busy_slots += 1
         cell = self.cell
-        if len(active) == 1:
+        if bg_demand:
+            self._serve_with_background(active, bg_demand, now)
+        elif len(active) == 1:
             # Fast path: one backlogged UE owns the whole cell this slot.
             # Mirrors the generic policies exactly: RR (and PF's zero-weight
             # fallback to RR) resets the rotation offset, ``(x + 1) % 1 == 0``.
@@ -180,12 +203,66 @@ class MacScheduler:
                 state.served_bytes_total += used
                 state.scheduled_slots += 1
                 state.slot_served = used
+        if background is not None and not bg_demand:
+            # Keep the kernel's batch clock ticking even in idle slots.
+            background.on_slot(0)
         inv_slot = self._inv_slot_duration
         for state in states:
             average = (keep * state.average_throughput
                        + decay * (state.slot_served * inv_slot))
             state.average_throughput = average if average > 1.0 else 1.0
             state.slot_served = 0
+
+    def _serve_with_background(self, active: list[_UeSchedulingState],
+                               bg_demand: int, now: float) -> None:
+        """Split the slot between foreground UEs and the background aggregate.
+
+        Round robin treats the population as ``bg_demand`` extra equal-share
+        claimants rotating through the same remainder offset as the
+        foreground UEs.  Proportional fair first carves out the background's
+        equal aggregate share, then runs PF over the remaining budget.
+        """
+        cell = self.cell
+        num_prb = cell.num_prb
+        total_claimants = len(active) + bg_demand
+        if self._round_robin:
+            base = num_prb // total_claimants
+            remainder = num_prb - base * total_claimants
+            offset = self._rr_offset
+            fg_prbs = 0
+            ordered = sorted(active, key=lambda s: s.ue_id)
+            for index, state in enumerate(ordered):
+                extra = 1 if (index + offset) % total_claimants < remainder \
+                    else 0
+                prbs = base + extra
+                if prbs <= 0:
+                    continue
+                fg_prbs += prbs
+                grant = cell.slot_capacity_bytes(
+                    state.channel.efficiency(now), num_prb=prbs)
+                used = state.pull(grant) if grant > 0 else 0
+                state.served_bytes_total += used
+                state.scheduled_slots += 1
+                state.slot_served = used
+            self._rr_offset = (offset + 1) % total_claimants
+            self._background.on_slot(num_prb - fg_prbs)
+            return
+        bg_prbs = (num_prb * bg_demand) // total_claimants
+        fg_budget = num_prb - bg_prbs
+        efficiencies = {s.ue_id: s.channel.efficiency(now) for s in active}
+        allocations = self._allocate_proportional_fair(
+            active, efficiencies, total_prb=fg_budget)
+        for state in active:
+            prbs = allocations.get(state.ue_id, 0)
+            if prbs <= 0:
+                continue
+            grant = cell.slot_capacity_bytes(
+                efficiencies[state.ue_id], num_prb=prbs)
+            used = state.pull(grant) if grant > 0 else 0
+            state.served_bytes_total += used
+            state.scheduled_slots += 1
+            state.slot_served = used
+        self._background.on_slot(bg_prbs)
 
     # ------------------------------------------------------------------ #
     # PRB allocation policies
@@ -197,8 +274,9 @@ class MacScheduler:
         return self._allocate_proportional_fair(active, efficiencies)
 
     def _allocate_round_robin(
-            self, active: list[_UeSchedulingState]) -> dict[UeId, int]:
-        total = self.cell.num_prb
+            self, active: list[_UeSchedulingState],
+            total_prb: Optional[int] = None) -> dict[UeId, int]:
+        total = self.cell.num_prb if total_prb is None else total_prb
         n = len(active)
         base = total // n
         remainder = total - base * n
@@ -212,7 +290,9 @@ class MacScheduler:
 
     def _allocate_proportional_fair(
             self, active: list[_UeSchedulingState],
-            efficiencies: dict[UeId, float]) -> dict[UeId, int]:
+            efficiencies: dict[UeId, float],
+            total_prb: Optional[int] = None) -> dict[UeId, int]:
+        budget = self.cell.num_prb if total_prb is None else total_prb
         weights: dict[UeId, float] = {}
         for state in active:
             instantaneous = self.cell.slot_capacity_bytes(
@@ -220,17 +300,17 @@ class MacScheduler:
             weights[state.ue_id] = instantaneous / state.average_throughput
         total_weight = sum(weights.values())
         if total_weight <= 0:
-            return self._allocate_round_robin(active)
+            return self._allocate_round_robin(active, total_prb=total_prb)
         allocations: dict[UeId, int] = {}
         assigned = 0
         ordered = sorted(active, key=lambda s: -weights[s.ue_id])
         for state in ordered:
-            share = int(round(self.cell.num_prb * weights[state.ue_id]
+            share = int(round(budget * weights[state.ue_id]
                               / total_weight))
-            share = min(share, self.cell.num_prb - assigned)
+            share = min(share, budget - assigned)
             allocations[state.ue_id] = share
             assigned += share
-        leftover = self.cell.num_prb - assigned
+        leftover = budget - assigned
         if leftover > 0 and ordered:
             allocations[ordered[0].ue_id] += leftover
         return allocations

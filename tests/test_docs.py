@@ -56,7 +56,7 @@ def test_every_registered_name_documented(registry, scenarios_tokens):
 @pytest.mark.parametrize("cls", [
     spec_module.ScenarioSpec, spec_module.CellSpec, spec_module.UeSpec,
     spec_module.ShardingSpec, spec_module.MobilitySpec,
-    spec_module.HandoverSpec,
+    spec_module.HandoverSpec, spec_module.PopulationSpec,
 ], ids=lambda c: c.__name__)
 def test_every_spec_field_documented(cls, scenarios_tokens):
     for field in dataclasses.fields(cls):

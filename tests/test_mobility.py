@@ -265,6 +265,39 @@ class TestShardedMobility:
         for key, value in single.delay_breakdown.items():
             assert sharded.delay_breakdown[key] == pytest.approx(value)
 
+    def test_mobile_flow_marked_fraction_covers_visited_cells(self):
+        """A mobile flow's marked_fraction merges every cell it visited.
+
+        The ping-pong UE gets marked both at home and while away; reading
+        only the home-cell marker's record (the historical bug) undercounts
+        both the marks and the downlink packets.
+        """
+        from repro.core.l4span import L4SpanLayer
+        from repro.experiments.scenario import build_scenario
+
+        spec = _ping_pong()
+        built = build_scenario(spec)
+        result = built.run()
+        per_cell = {}  # cell_id -> (marked, downlink) for flow 0
+        for cell_id, marker in built.markers.items():
+            assert isinstance(marker, L4SpanLayer)
+            for five_tuple, record in marker.flows.items():
+                if five_tuple.dst_port - 50_000 == 0:
+                    per_cell[cell_id] = (record.marked_packets,
+                                         record.downlink_packets)
+        # The scenario must actually mark the flow in more than one cell,
+        # otherwise this test would pass with the home-only bug in place.
+        assert len(per_cell) == 2
+        assert all(marked > 0 for marked, _ in per_cell.values())
+        marked = sum(m for m, _ in per_cell.values())
+        downlink = sum(d for _, d in per_cell.values())
+        home_only = per_cell[0][0] / per_cell[0][1]
+        assert result.flow(0).marked_fraction == marked / downlink
+        assert result.flow(0).marked_fraction != home_only
+        # The sharded merge performs the same cross-shard summation.
+        sharded = run_scenario_sharded(spec, shards=2, inprocess=True)
+        assert sharded.flow(0).marked_fraction == marked / downlink
+
     def test_boundary_exchanges_every_coupled_window(self):
         """≥1 real _BoundaryRouter exchange per lookahead window.
 

@@ -10,7 +10,8 @@ import pytest
 from repro.experiments.presets import make_preset, preset_names
 from repro.experiments.scenario import (ScenarioConfig, build_scenario,
                                         run_scenario)
-from repro.experiments.spec import CellSpec, ScenarioSpec, UeSpec
+from repro.experiments.spec import (CellSpec, PopulationSpec, ScenarioSpec,
+                                    UeSpec)
 from repro.ran.cell import CellConfig
 from repro.registry import (CC_SENDERS, CHANNEL_PROFILES, MARKERS, Registry,
                             SCENARIO_PRESETS, SCHEDULERS,
@@ -184,6 +185,61 @@ class TestSpecValidation:
         assert resolved[1].channel_profile == "static"
         flows = spec.resolved_flows()
         assert [f.ue_id for f in flows] == [0, 1]
+
+
+# --------------------------------------------------------------------------- #
+# The population block
+# --------------------------------------------------------------------------- #
+class TestPopulationSpec:
+    def test_round_trip_through_dict_and_json(self):
+        spec = ScenarioSpec(
+            num_ues=1, population=PopulationSpec(
+                n_background=250, workload="rate", mean_rate_mbps=1.5,
+                cc_mix={"prague": 0.25, "cubic": 0.75},
+                snr_mean_db=19.0, snr_stddev_db=4.0, activity=0.5,
+                churn_rate_per_s=1.0, update_interval_s=0.01))
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.population.cc_mix == {"prague": 0.25, "cubic": 0.75}
+
+    def test_default_population_disabled(self):
+        spec = ScenarioSpec()
+        assert not spec.population.enabled
+        assert spec.population.n_background == 0
+        spec.validate()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="n_background"):
+            ScenarioSpec(
+                population=PopulationSpec(n_background=-1)).validate()
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="workload"):
+            ScenarioSpec(population=PopulationSpec(
+                n_background=10, workload="voip")).validate()
+
+    def test_rate_workload_needs_positive_rate(self):
+        with pytest.raises(ValueError, match="mean_rate_mbps"):
+            ScenarioSpec(population=PopulationSpec(
+                n_background=10, workload="rate",
+                mean_rate_mbps=0.0)).validate()
+
+    def test_activity_bounds(self):
+        with pytest.raises(ValueError, match="activity"):
+            ScenarioSpec(population=PopulationSpec(
+                n_background=10, activity=1.5)).validate()
+
+    def test_unknown_cc_in_mix_rejected(self):
+        with pytest.raises(UnknownComponentError, match="congestion"):
+            ScenarioSpec(population=PopulationSpec(
+                n_background=10, cc_mix={"vegas": 1.0})).validate()
+
+    def test_non_positive_mix_share_rejected(self):
+        with pytest.raises(ValueError, match="cc_mix"):
+            ScenarioSpec(population=PopulationSpec(
+                n_background=10,
+                cc_mix={"prague": 0.0})).validate()
 
 
 # --------------------------------------------------------------------------- #

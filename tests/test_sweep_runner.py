@@ -33,6 +33,11 @@ def os_error_cell(cell):
     raise FileNotFoundError(f"cell {cell} lost its trace file")
 
 
+def active_workers_cell(cell):
+    from repro.experiments.runner import active_sweep_workers
+    return (cell, active_sweep_workers())
+
+
 class TestSweepRunner:
     def test_sequential_results_in_input_order(self):
         assert SweepRunner(workers=1).map(square_cell, [3, 1, 2]) == [9, 1, 4]
@@ -105,6 +110,83 @@ class TestSweepRunner:
 
     def test_run_cells_convenience(self):
         assert run_cells(square_cell, [4], workers=1) == [16]
+
+
+# --------------------------------------------------------------------------- #
+# Core budget: sweep workers x scenario shards must fit one host
+# --------------------------------------------------------------------------- #
+class TestCoreBudget:
+    def test_env_override_and_fallback(self, monkeypatch):
+        import os
+
+        from repro.experiments.runner import (ACTIVE_WORKERS_ENV,
+                                              CORE_BUDGET_ENV,
+                                              active_sweep_workers,
+                                              core_budget)
+        monkeypatch.setenv(CORE_BUDGET_ENV, "3")
+        assert core_budget() == 3
+        monkeypatch.setenv(CORE_BUDGET_ENV, "not-a-number")
+        assert core_budget() == (os.cpu_count() or 1)
+        monkeypatch.delenv(CORE_BUDGET_ENV, raising=False)
+        assert core_budget() == (os.cpu_count() or 1)
+        monkeypatch.delenv(ACTIVE_WORKERS_ENV, raising=False)
+        assert active_sweep_workers() == 1
+
+    def test_sweep_workers_clamped_to_budget(self, monkeypatch):
+        from repro.experiments.runner import CORE_BUDGET_ENV
+        monkeypatch.setenv(CORE_BUDGET_ENV, "2")
+        cells = list(range(6))
+        with pytest.warns(RuntimeWarning, match="core budget"):
+            results = SweepRunner(workers=4).map(square_cell, cells)
+        assert results == [c * c for c in cells]
+
+    def test_parallel_sweep_exports_active_workers(self, monkeypatch):
+        from repro.experiments.runner import ACTIVE_WORKERS_ENV
+        monkeypatch.delenv(ACTIVE_WORKERS_ENV, raising=False)
+        SweepRunner(workers=2).map(active_workers_cell, [0, 1, 2])
+        # The export is cleaned up after the sweep finishes.
+        import os
+        assert ACTIVE_WORKERS_ENV not in os.environ
+
+    def test_shard_plan_clamped_under_active_sweep(self, monkeypatch):
+        from repro.experiments.runner import (ACTIVE_WORKERS_ENV,
+                                              CORE_BUDGET_ENV)
+        from repro.experiments.sharded import build_shard_plan
+        from repro.experiments.spec import (CellSpec, ScenarioSpec,
+                                            ShardingSpec, UeSpec)
+        spec = ScenarioSpec(
+            num_ues=0, channel_profile="static",
+            cells=[CellSpec(cell_id=c) for c in range(4)],
+            ues=[UeSpec(ue_id=u, cell_id=u) for u in range(4)],
+            sharding=ShardingSpec(mode="auto")).validate()
+        # Outside a sweep, no clamp: 4 shards stay 4 shards.
+        monkeypatch.delenv(ACTIVE_WORKERS_ENV, raising=False)
+        monkeypatch.setenv(CORE_BUDGET_ENV, "4")
+        assert build_shard_plan(spec, shards=4).num_shards == 4
+        # Inside a 2-worker sweep, 4 shards exceed the budget of 4 cores.
+        monkeypatch.setenv(ACTIVE_WORKERS_ENV, "2")
+        with pytest.warns(RuntimeWarning, match="core budget"):
+            plan = build_shard_plan(spec, shards=4)
+        assert plan.num_shards == 2
+        assert set(plan.assignment.values()) == {0, 1}
+
+    def test_explicit_shard_map_warns_without_clamping(self, monkeypatch):
+        from repro.experiments.runner import (ACTIVE_WORKERS_ENV,
+                                              CORE_BUDGET_ENV)
+        from repro.experiments.sharded import build_shard_plan
+        from repro.experiments.spec import (CellSpec, ScenarioSpec,
+                                            ShardingSpec, UeSpec)
+        spec = ScenarioSpec(
+            num_ues=0, channel_profile="static",
+            cells=[CellSpec(cell_id=0), CellSpec(cell_id=1)],
+            ues=[UeSpec(ue_id=0, cell_id=0), UeSpec(ue_id=1, cell_id=1)],
+            sharding=ShardingSpec(mode="explicit",
+                                  map={0: 0, 1: 1})).validate()
+        monkeypatch.setenv(CORE_BUDGET_ENV, "2")
+        monkeypatch.setenv(ACTIVE_WORKERS_ENV, "2")
+        with pytest.warns(RuntimeWarning, match="core budget"):
+            plan = build_shard_plan(spec)
+        assert plan.num_shards == 2  # the requested placement is kept
 
 
 # --------------------------------------------------------------------------- #
