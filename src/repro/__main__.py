@@ -59,6 +59,9 @@ def _build_spec(args: argparse.Namespace):
             sharding = dataclasses.replace(
                 sharding, adaptive_windows=args.shard_windows == "adaptive")
         overrides["sharding"] = sharding
+    if args.engine is not None:
+        overrides["engine"] = dataclasses.replace(spec.engine,
+                                                  backend=args.engine)
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
     if spec.flows is not None:
@@ -157,6 +160,7 @@ def main(argv: list[str] | None = None) -> int:
     from repro.experiments.presets import preset_names
     from repro.registry import (CC_SENDERS, CHANNEL_PROFILES, MARKERS,
                                 SCHEDULERS)
+    from repro.sim.backends import ENGINE_BACKENDS
 
     parser = argparse.ArgumentParser(
         prog="repro", description="L4Span reproduction experiment runner")
@@ -185,6 +189,11 @@ def main(argv: list[str] | None = None) -> int:
         "--shards", type=int, default=None, metavar="N",
         help="shard a multi-cell scenario over N worker processes "
              "(1 disables; see the README's Parallelism section)")
+    scenario.add_argument(
+        "--engine", default=None,
+        choices=ENGINE_BACKENDS.names(include_aliases=True),
+        help="engine backend for the per-slot hot loops (default: the "
+             "spec's engine.backend, or $REPRO_ENGINE, or python)")
     scenario.add_argument(
         "--shard-windows", choices=("adaptive", "fixed"), default=None,
         help="barrier window policy for mobility-coupled sharded runs "

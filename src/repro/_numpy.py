@@ -1,0 +1,42 @@
+"""Shared guarded numpy import.
+
+numpy is a declared dependency, but pure-python scenarios (the default
+``python`` engine backend with no background population) never need it, so
+the vectorized subsystems import it through this module instead of failing
+at import time on a broken install.  Every kernel that genuinely requires
+numpy calls :func:`require_numpy` with its feature name and gets one
+consistent, actionable error message.
+
+Users: :class:`repro.ran.background.BackgroundPopulation`, the ``numpy``
+engine backend (:mod:`repro.sim.backends`) and its channel block cache
+(:mod:`repro.channel.blockcache`).
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on broken installs
+    np = None  # type: ignore[assignment]
+
+
+def numpy_available() -> bool:
+    """True when numpy imported successfully."""
+    return np is not None
+
+
+def require_numpy(feature: str, hint: str = ""):
+    """Return the numpy module, or raise one actionable RuntimeError.
+
+    Args:
+        feature: what needs numpy, e.g. ``"the background-population
+            kernel"`` -- leads the error message.
+        hint: optional feature-specific way out, appended to the message.
+    """
+    if np is None:
+        message = (f"{feature} requires numpy (a declared dependency -- "
+                   f"`pip install numpy`)")
+        if hint:
+            message += f"; {hint}"
+        raise RuntimeError(message)
+    return np

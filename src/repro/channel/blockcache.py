@@ -1,0 +1,288 @@
+"""Per-cell channel block cache: pre-drawn link-quality variates.
+
+The ``python`` engine backend answers every per-slot channel query with one
+scalar numpy draw (:meth:`StaticChannel.efficiency`) or a scalar AR(1) step
+(:meth:`FadingChannel.efficiency`).  Profiling slot-bound scenarios puts
+those calls among the three dominant per-slot costs, so the ``numpy``
+backend serves them from a :class:`ChannelBlockCache` instead: each UE's
+channel is wrapped in a *view* that pre-computes a block of future states
+with a handful of vectorized calls and then answers ``efficiency()`` /
+``sample()`` with a list index.
+
+Equivalence:
+
+* **Static channels are bit-identical.**  ``rng.normal(0.0, std, size=n)``
+  consumes the generator exactly like ``n`` scalar ``rng.normal(0.0, std)``
+  calls and yields the same doubles; elementwise array adds equal scalar
+  adds; and :func:`efficiency_from_snr_array` rounds identically to the
+  scalar table lookup at every MCS boundary (regression-pinned in
+  ``tests/test_channel.py``).  A view therefore returns the very floats the
+  scalar path would have, in the same call order.
+* **Fading channels drift within the PR 3 contract.**  The view advances
+  the AR(1)/deep-fade process on the *slot grid* (one step per slot
+  duration, whether or not the UE was polled that slot) instead of lazily
+  at call times, and pre-draws innovations/fade uniforms in blocks.  All
+  variates still come from the same per-UE stream and the view remains
+  deterministic, but the interleaving differs from the scalar
+  implementation -- the same confined channel-stream drift the fading
+  model's own draw batching introduced.
+
+Views attach to the channel object itself (``channel._block_view``), so a
+UE handed over between cells keeps one continuous process instead of
+restarting from the wrapped channel's stale scalar state.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro._numpy import require_numpy
+from repro.channel.base import ChannelModel, ChannelSample
+from repro.channel.fading import FadingChannel
+from repro.channel.mcs import efficiency_from_snr_array
+from repro.channel.static import StaticChannel
+
+
+class _StaticView:
+    """Blocked view of a :class:`StaticChannel`; bit-identical outputs.
+
+    One ``normal(0.0, std, size=block)`` call replaces ``block`` scalar
+    draws; SNRs and efficiencies are pre-computed per block and served by
+    index.  Each ``efficiency()``/``sample()`` call consumes exactly one
+    pre-drawn variate, mirroring the scalar draw-per-call semantics.
+    """
+
+    __slots__ = ("channel", "_block", "_rng", "_base", "_std",
+                 "_snrs", "_effs", "_index")
+
+    coherence_time = float("inf")
+
+    def __init__(self, channel: StaticChannel, block: int) -> None:
+        self.channel = channel
+        self._block = block
+        self._rng = channel._rng
+        self._base = channel.snr_db
+        self._std = channel.noise_std_db
+        self._snrs: list[float] = []
+        self._effs: list[float] = []
+        self._index = 0
+
+    @property
+    def snr_db(self) -> float:
+        return self.channel.snr_db
+
+    def _advance(self) -> int:
+        index = self._index
+        if index >= len(self._effs):
+            np = require_numpy("the channel block cache")
+            noise = self._rng.normal(0.0, self._std, size=self._block)
+            snr = self._base + noise
+            self._snrs = snr.tolist()
+            self._effs = efficiency_from_snr_array(snr).tolist()
+            index = 0
+        self._index = index + 1
+        return index
+
+    def efficiency(self, now: float) -> float:
+        # _advance() may swap the block lists; index after, not before.
+        index = self._advance()
+        return self._effs[index]
+
+    def sample(self, now: float) -> ChannelSample:
+        index = self._advance()
+        return ChannelSample.from_snr(now, self._snrs[index])
+
+    def mcs_trace(self, duration: float, step: float):
+        return self.channel.mcs_trace(duration, step)
+
+
+class _FadingView:
+    """Slot-grid view of a :class:`FadingChannel` (documented drift).
+
+    The process lives on a fixed grid anchored at the first query: grid
+    step ``k`` holds the state at ``anchor + k * slot_duration``, computed
+    ``block`` steps at a time -- a chunked vectorized AR(1) scan for the
+    Gauss-Markov component plus a sparse python walk over pre-drawn fade
+    uniforms.  A query at time ``t`` reads the nearest grid step, so gaps
+    (UE idle for some slots, the mobility monitor's coarser cadence) skip
+    grid entries instead of collapsing into one large-``dt`` scalar step.
+    """
+
+    __slots__ = ("channel", "_block", "_slot", "_rng", "_mean", "_depth",
+                 "_rho", "_innovation", "_p_fade", "_fade_duration",
+                 "_anchor", "_offset", "_state_db", "_fade_until",
+                 "_snrs", "_effs", "coherence_time")
+
+    def __init__(self, channel: FadingChannel, slot_duration: float,
+                 block: int) -> None:
+        self.channel = channel
+        self._block = block
+        self._slot = slot_duration
+        self._rng = channel._rng
+        self._mean = channel.mean_snr_db
+        self._depth = channel.deep_fade_depth_db
+        self.coherence_time = channel.coherence_time
+        coherence = channel.coherence_time
+        if coherence > 0 and math.isfinite(coherence):
+            self._rho = math.exp(-slot_duration / coherence)
+        else:
+            self._rho = 1.0
+        self._innovation = (math.sqrt(max(0.0, 1.0 - self._rho * self._rho))
+                            * channel.std_snr_db)
+        if channel.deep_fade_rate > 0:
+            self._p_fade = 1.0 - math.exp(
+                -channel.deep_fade_rate * slot_duration)
+        else:
+            self._p_fade = 0.0
+        self._fade_duration = channel.deep_fade_duration
+        self._anchor: float | None = None
+        self._offset = 0                      # grid index of _snrs[0]
+        self._state_db = channel._state_db    # state at the end of the grid
+        self._fade_until = channel._fade_until
+        self._snrs: list[float] = []
+        self._effs: list[float] = []
+
+    # ------------------------------------------------------------------ #
+    def _grid_index(self, now: float) -> int:
+        if self._anchor is None:
+            self._anchor = now
+        k = int(round((now - self._anchor) / self._slot))
+        if k < self._offset:
+            k = self._offset                  # time never runs backwards;
+        while k - self._offset >= len(self._snrs):   # guard float jitter
+            self._extend()
+        return k - self._offset
+
+    def _extend(self) -> None:
+        """Append one block of grid states, dropping the previous block."""
+        np = require_numpy("the channel block cache")
+        n = self._block
+        start_index = self._offset + len(self._snrs)
+        rho = self._rho
+        innovation = self._innovation
+        dev0 = self._state_db - self._mean
+        if innovation > 0:
+            w = self._rng.standard_normal(n)
+            devs = _ar1_scan(np, dev0, rho, innovation, w)
+        elif rho == 1.0:
+            devs = np.full(n, dev0)
+        else:
+            devs = dev0 * rho ** np.arange(1, n + 1)
+        snr = self._mean + devs
+        self._state_db = self._mean + float(devs[-1])
+
+        shifted = snr
+        if self._p_fade > 0:
+            # One uniform per grid step (scalar code skips draws while a
+            # fade is active -- part of the documented drift), then a
+            # python walk over the sparse arrival candidates.
+            uniforms = self._rng.random(n)
+            times = (self._anchor + self._slot * start_index
+                     + self._slot * np.arange(n))
+            carry_in = self._fade_until
+            fade_until = carry_in
+            windows = []
+            for i in np.nonzero(uniforms < self._p_fade)[0]:
+                t = float(times[i])
+                if t < fade_until:
+                    continue
+                duration = float(self._rng.exponential(self._fade_duration))
+                fade_until = t + duration
+                windows.append((t, fade_until))
+            self._fade_until = fade_until
+            if windows or carry_in > float(times[0]):
+                # Carry-in: a fade triggered in an earlier block can
+                # stretch into this one.
+                mask = times < carry_in
+                for start, end in windows:
+                    mask |= (times >= start) & (times < end)
+                shifted = np.where(mask, snr - self._depth, snr)
+
+        self._offset = start_index
+        self._snrs = shifted.tolist()
+        self._effs = efficiency_from_snr_array(shifted).tolist()
+
+    # ------------------------------------------------------------------ #
+    def efficiency(self, now: float) -> float:
+        # _grid_index() may swap the block lists; index after, not before.
+        index = self._grid_index(now)
+        return self._effs[index]
+
+    def sample(self, now: float) -> ChannelSample:
+        index = self._grid_index(now)
+        return ChannelSample.from_snr(now, self._snrs[index])
+
+    def mcs_trace(self, duration: float, step: float):
+        return self.channel.mcs_trace(duration, step)
+
+
+def _ar1_scan(np, dev0: float, rho: float, innovation: float, w):
+    """Vectorized scan of ``dev_k = rho * dev_{k-1} + innovation * w_k``.
+
+    Uses the closed form ``dev_k = rho^k * (dev_0 + innovation *
+    sum_{j<=k} rho^-j w_j)`` in chunks small enough that ``rho^-j`` stays
+    below ``e^600`` (no overflow); degenerate coherence falls back to the
+    scalar recurrence.
+    """
+    n = len(w)
+    if rho <= 0.0:
+        return innovation * w
+    if rho >= 1.0:
+        return dev0 + innovation * np.cumsum(w)
+    log_rho = math.log(rho)
+    chunk = int(-600.0 / log_rho)
+    if chunk < 8:
+        out = np.empty(n)
+        dev = dev0
+        values = w.tolist()
+        for i in range(n):
+            dev = rho * dev + innovation * values[i]
+            out[i] = dev
+        return out
+    out = np.empty(n)
+    dev = dev0
+    start = 0
+    while start < n:
+        m = min(chunk, n - start)
+        powers = rho ** np.arange(1, m + 1)
+        scaled = w[start:start + m] / powers
+        segment = powers * (dev + innovation * np.cumsum(scaled))
+        out[start:start + m] = segment
+        dev = float(segment[-1])
+        start += m
+    return out
+
+
+class ChannelBlockCache:
+    """Per-cell registry of blocked channel views.
+
+    Created by the MAC when a vectorized backend is active;
+    :meth:`view` wraps a UE's channel in the matching view (or returns the
+    channel itself when no blocked implementation applies -- trace-driven
+    channels, noiseless statics).  Views are cached on the channel object,
+    so re-registration after a handover returns the same continuous view.
+    """
+
+    def __init__(self, slot_duration: float, block: int = 256) -> None:
+        require_numpy("the channel block cache")
+        if block < 1:
+            raise ValueError("channel block size must be >= 1")
+        self.slot_duration = slot_duration
+        self.block = block
+
+    def view(self, channel):
+        """The blocked view serving this channel's queries (maybe itself)."""
+        existing = getattr(channel, "_block_view", None)
+        if existing is not None:
+            return existing
+        if isinstance(channel, _StaticView) or isinstance(channel,
+                                                          _FadingView):
+            return channel
+        if isinstance(channel, StaticChannel) and channel.noise_std_db > 0:
+            view: ChannelModel = _StaticView(channel, self.block)
+        elif isinstance(channel, FadingChannel):
+            view = _FadingView(channel, self.slot_duration, self.block)
+        else:
+            return channel
+        channel._block_view = view
+        return view

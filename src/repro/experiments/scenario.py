@@ -214,6 +214,9 @@ class BuiltScenario:
     def __init__(self, config: ScenarioSpec) -> None:
         self.config = config.validate()
         self.sim = Simulator(seed=config.seed)
+        #: The engine backend executing the per-slot hot loops (see
+        #: repro.sim.backends; the spec's engine block or $REPRO_ENGINE).
+        self.engine_backend = config.engine.make_backend()
         marker_name = config.resolved_marker()
         self.cell_specs: list[CellSpec] = config.resolved_cells()
         self.markers: dict[int, object] = {}
@@ -225,7 +228,8 @@ class BuiltScenario:
                     else f"gnb{cell_spec.cell_id}")
             gnb = GNodeB(self.sim, cell=cell_spec.radio,
                          scheduler_policy=resolve_scheduler(cell_spec.scheduler),
-                         marker=marker, air_config=cell_spec.air, name=name)
+                         marker=marker, air_config=cell_spec.air, name=name,
+                         engine_backend=self.engine_backend)
             self.markers[cell_spec.cell_id] = marker
             self.gnbs[cell_spec.cell_id] = gnb
         first_cell = self.cell_specs[0].cell_id

@@ -44,6 +44,8 @@ from repro.ran.mac import resolve_scheduler  # noqa: F401  (registration)
 from repro.ran.phy import AirInterfaceConfig
 from repro.registry import (CC_SENDERS, CHANNEL_PROFILES, MARKERS, SCHEDULERS,
                             UnknownComponentError)
+from repro.sim.backends import (ENGINE_BACKENDS, EngineBackend,
+                                default_engine_name, make_engine_backend)
 from repro.units import ms
 from repro.workloads.flows import FlowSpec
 
@@ -292,6 +294,47 @@ class PopulationSpec:
 
 
 @dataclass
+class EngineSpec:
+    """Which engine backend executes the scenario's per-slot hot loops.
+
+    Backends never change the modelled behaviour -- on static channels the
+    per-flow metrics are bit-identical across backends (asserted by
+    ``tests/test_backends.py``); on fading channels the drift is confined
+    to the channel stream's documented block-reordering.  See
+    :mod:`repro.sim.backends` for the registry and the equivalence contract.
+
+    Attributes:
+        backend: registered backend name (``"python"``/``"py"``,
+            ``"numpy"``/``"np"``), or None to inherit the environment
+            default (``$REPRO_ENGINE``, falling back to ``"python"``).
+        channel_block: slots/variates precomputed per channel-cache block
+            by vectorized backends (ignored by ``"python"``).
+    """
+
+    backend: Optional[str] = None
+    channel_block: int = 256
+
+    def resolved_backend(self) -> str:
+        """The primary name of the backend this block selects."""
+        if self.backend is not None:
+            return ENGINE_BACKENDS.resolve(self.backend)
+        return default_engine_name()
+
+    def make_backend(self) -> EngineBackend:
+        """Instantiate the selected backend (explicit names fail loudly)."""
+        return make_engine_backend(self.backend,
+                                   channel_block=self.channel_block)
+
+    def validate(self) -> "EngineSpec":
+        """Check the backend name and block size."""
+        if self.backend is not None:
+            ENGINE_BACKENDS.resolve(self.backend)
+        if self.channel_block < 1:
+            raise ValueError("engine.channel_block must be >= 1")
+        return self
+
+
+@dataclass
 class UeSpec:
     """Per-UE overrides; any field left None inherits the scenario default.
 
@@ -364,6 +407,9 @@ class ScenarioSpec:
     # Aggregated background-UE population per cell (off by default; see
     # repro.ran.background for the vectorized kernel).
     population: PopulationSpec = field(default_factory=PopulationSpec)
+    # Engine backend executing the per-slot hot loops (None = the
+    # environment default; see repro.sim.backends).
+    engine: EngineSpec = field(default_factory=EngineSpec)
 
     def __post_init__(self) -> None:
         # Normalise the throttle schedule to tuples so a spec deserialized
@@ -464,6 +510,7 @@ class ScenarioSpec:
         MARKERS.resolve(self.resolved_marker() or "none")
         self.sharding.validate()
         self.population.validate()
+        self.engine.validate()
         cells = self.resolved_cells()
         cell_ids = {cell.cell_id for cell in cells}
         if self.sharding.mode == "explicit":
@@ -564,6 +611,7 @@ class ScenarioSpec:
             "l4span_config": L4SpanConfig,
             "sharding": ShardingSpec,
             "population": PopulationSpec,
+            "engine": EngineSpec,
         }
         for key, nested_cls in nested.items():
             if key in data and data[key] is not None:

@@ -32,11 +32,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-try:  # numpy is a declared dependency, but pure-python scenarios never need it
-    import numpy as np
-except ImportError:  # pragma: no cover - exercised only on broken installs
-    np = None
-
+from repro._numpy import np, require_numpy
 from repro.cc.factory import is_l4s_algorithm
 from repro.ran.cell import CellConfig
 
@@ -53,18 +49,16 @@ BETA_CLASSIC = 0.7
 BETA_L4S = 0.85
 
 
-def require_numpy() -> None:
-    """Fail with an actionable message when numpy is missing.
+def _require_numpy() -> None:
+    """Guard for the kernel via the shared :mod:`repro._numpy` helper.
 
     Pure-python scenarios (``population.n_background == 0``) never reach
     this; only building an actual population needs the vectorized kernel.
     """
-    if np is None:
-        raise RuntimeError(
-            "the background-population kernel requires numpy "
-            "(a declared dependency -- `pip install numpy`); "
-            "alternatively set population.n_background = 0 to run "
-            "the scenario without aggregated background UEs")
+    require_numpy(
+        "the background-population kernel",
+        hint="alternatively set population.n_background = 0 to run "
+             "the scenario without aggregated background UEs")
 
 
 class BackgroundPopulation:
@@ -80,7 +74,7 @@ class BackgroundPopulation:
 
     def __init__(self, sim, cell_id: int, cell: CellConfig, spec,
                  marker: Optional[object] = None) -> None:
-        require_numpy()
+        _require_numpy()
         spec.validate()
         self.sim = sim
         self.cell_id = cell_id
@@ -132,8 +126,8 @@ class BackgroundPopulation:
 
         #: O(1) view the MAC reads every slot: number of background UEs
         #: currently demanding air time (refreshed at each batched step).
-        self.demand_count = int(
-            (self.active & (self.backlog > 0)).sum()) if self.n else 0
+        self.demand_count = int(np.count_nonzero(
+            self.active & (self.backlog > 0))) if self.n else 0
 
     # ------------------------------------------------------------------ #
     # MAC-facing hot path (called once per slot; must stay O(1))
@@ -179,14 +173,15 @@ class BackgroundPopulation:
             arrivals = np.where(
                 active, np.minimum(self.offered_rate * dt, window_room), 0.0)
         backlog += arrivals
-        self.arrival_bytes_total += float(arrivals.sum())
+        arrival_bytes = float(arrivals.sum())
+        self.arrival_bytes_total += arrival_bytes
 
         # Serve the PRB budget the MAC granted over this interval: equal
         # PRB shares across demanding UEs (round-robin in expectation), each
         # converted through its own SNR-derived bytes-per-PRB; one
         # redistribution pass hands leftovers of drained UEs to the rest.
         demand = active & (backlog > 0)
-        demanding = int(demand.sum())
+        demanding = int(np.count_nonzero(demand))
         step_served = 0.0
         if demanding and self._pending_prb_slots > 0:
             capacity = np.where(
@@ -196,7 +191,7 @@ class BackgroundPopulation:
             served = np.minimum(backlog, capacity)
             leftover = float((capacity - served).sum())
             still = demand & (backlog > served)
-            still_count = int(still.sum())
+            still_count = int(np.count_nonzero(still))
             if leftover > 0 and still_count:
                 extra = np.where(still, leftover / still_count, 0.0)
                 served += np.minimum(backlog - served, extra)
@@ -210,20 +205,25 @@ class BackgroundPopulation:
 
         # AIMD window update: senders that kept more than half a window
         # queued back off (their class beta); the rest grow additively.
+        # Masked in-place ufuncs compute the same elementwise values as
+        # boolean fancy indexing without the gather/scatter copies.
         relieved = active & ~congested
-        cwnd[congested] *= self.beta[congested]
-        cwnd[relieved] += BACKGROUND_MSS * (dt / BACKGROUND_NOMINAL_RTT)
+        np.multiply(cwnd, self.beta, out=cwnd, where=congested)
+        np.add(cwnd, BACKGROUND_MSS * (dt / BACKGROUND_NOMINAL_RTT),
+               out=cwnd, where=relieved)
         np.clip(cwnd, BACKGROUND_MSS, BACKGROUND_CWND_CAP, out=cwnd)
 
-        self.active_ue_seconds += float(active.sum()) * dt
+        active_count = int(np.count_nonzero(active))
+        self.active_ue_seconds += float(active_count) * dt
         self.kernel_steps += 1
         if self.offered_rate is None:
             # Bulk UEs refill next step; an active bulk sender always demands.
-            self.demand_count = int(active.sum())
+            self.demand_count = active_count
         else:
-            self.demand_count = int((active & (backlog > 0)).sum())
+            self.demand_count = int(
+                np.count_nonzero(active & (backlog > 0)))
         if self._marker_hook is not None:
-            self._marker_hook(arrival_bytes=float(arrivals.sum()),
+            self._marker_hook(arrival_bytes=arrival_bytes,
                               served_bytes=step_served,
                               backlog_bytes=float(backlog.sum()),
                               now=now)

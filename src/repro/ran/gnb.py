@@ -15,6 +15,7 @@ from repro.ran.mac import SchedulerPolicy
 from repro.ran.marker import RanMarker
 from repro.ran.phy import AirInterfaceConfig
 from repro.ran.ue import UeContext
+from repro.sim.backends import EngineBackend
 from repro.sim.engine import Simulator
 
 
@@ -27,13 +28,16 @@ class GNodeB:
         scheduler_policy: MAC policy (RR / PF).
         marker: the in-RAN marking layer (defaults to no-op).
         air_config: air-interface delay/HARQ configuration.
+        engine_backend: engine backend executing the per-slot hot loops
+            (None = the classic python path; see :mod:`repro.sim.backends`).
     """
 
     def __init__(self, sim: Simulator, cell: Optional[CellConfig] = None,
                  scheduler_policy: SchedulerPolicy = SchedulerPolicy.ROUND_ROBIN,
                  marker: Optional[RanMarker] = None,
                  air_config: Optional[AirInterfaceConfig] = None,
-                 name: str = "gnb") -> None:
+                 name: str = "gnb",
+                 engine_backend: Optional[EngineBackend] = None) -> None:
         self._sim = sim
         self.name = name
         self.cell = cell if cell is not None else CellConfig()
@@ -42,7 +46,8 @@ class GNodeB:
                                        name=f"{name}-cu")
         self.du = DistributedUnit(sim, self.cell, self.f1u,
                                   scheduler_policy=scheduler_policy,
-                                  air_config=air_config)
+                                  air_config=air_config,
+                                  engine_backend=engine_backend)
         self._ues: dict[UeId, UeContext] = {}
 
     # ------------------------------------------------------------------ #

@@ -21,12 +21,21 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro._numpy import np
 from repro.channel.base import ChannelModel
 from repro.ran.cell import CellConfig
 from repro.ran.identifiers import UeId
 from repro.registry import SCHEDULERS
+from repro.sim.backends import EngineBackend
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
+
+#: Below these many backlogged UEs the scalar allocation loops beat the
+#: numpy ones (array construction and ``tolist`` overhead are fixed costs
+#: of several microseconds per slot).  Crossovers measured on the dev
+#: container; tests force the vector paths by patching these down.
+_VECTOR_MIN_UES_RR = 160
+_VECTOR_MIN_UES_PF = 48
 
 
 class SchedulerPolicy(enum.Enum):
@@ -72,12 +81,19 @@ class MacScheduler:
         pf_time_constant: averaging horizon (seconds) of the PF throughput
             EWMA.
         start: when to start the slot clock (defaults to time zero).
+        backend: engine backend; a vectorized backend moves the slot clock
+            onto the simulator's timer wheel (batching consecutive slots
+            off-heap), serves channels through a per-cell
+            :class:`~repro.channel.blockcache.ChannelBlockCache` and takes
+            numpy allocation paths for large UE counts.  None (or the
+            ``python`` backend) keeps the classic heap-driven loop.
     """
 
     def __init__(self, sim: Simulator, cell: CellConfig,
                  policy: SchedulerPolicy = SchedulerPolicy.ROUND_ROBIN,
                  pf_time_constant: float = 0.1,
-                 start: Optional[float] = None) -> None:
+                 start: Optional[float] = None,
+                 backend: Optional[EngineBackend] = None) -> None:
         self._sim = sim
         self.cell = cell
         self.policy = policy
@@ -89,24 +105,47 @@ class MacScheduler:
         #: Aggregated background population sharing the cell, or None.
         self._background = None
         self._rr_offset = 0
+        self._quiet_active_count = 0
         self.slots = 0
         self.busy_slots = 0
         # Per-slot constants hoisted off the hot loop.
         self._decay = cell.slot_duration / pf_time_constant
         self._inv_slot_duration = 1.0 / cell.slot_duration
         self._round_robin = policy == SchedulerPolicy.ROUND_ROBIN
-        self._process = PeriodicProcess(
-            sim, cell.slot_duration, self._on_slot,
-            start_at=start if start is not None else sim.now,
-            name="mac-slot")
+        self._vectorized = backend is not None and backend.vectorized
+        start_at = start if start is not None else sim.now
+        if self._vectorized:
+            # Both clocks consume one tie-break sequence number here, at
+            # construction, so same-instant ordering against other events
+            # is identical whichever clock drives the slots.
+            from repro.channel.blockcache import ChannelBlockCache
+            self._channel_cache = ChannelBlockCache(
+                cell.slot_duration, block=backend.channel_block)
+            self._process = None
+            self._timer = sim.add_slot_timer(
+                cell.slot_duration, self._run_slot_batch, start_at=start_at)
+        else:
+            self._channel_cache = None
+            self._timer = None
+            self._process = PeriodicProcess(
+                sim, cell.slot_duration, self._on_slot,
+                start_at=start_at, name="mac-slot")
 
     # ------------------------------------------------------------------ #
     # Attachment
     # ------------------------------------------------------------------ #
     def register_ue(self, ue_id: UeId, channel: ChannelModel,
                     backlog_bytes: Callable[[], int],
-                    pull: Callable[[int], int]) -> None:
-        """Attach a UE: the DU provides backlog and pull callbacks."""
+                    pull: Callable[[int], int]) -> ChannelModel:
+        """Attach a UE: the DU provides backlog and pull callbacks.
+
+        Returns the channel the scheduler will actually query -- under a
+        vectorized backend this is the block-cache view of ``channel``, and
+        the caller should read link quality through it (not the raw model)
+        so every consumer sees one consistent variate sequence.
+        """
+        if self._channel_cache is not None:
+            channel = self._channel_cache.view(channel)
         state = _UeSchedulingState(
             ue_id=ue_id, channel=channel, backlog_bytes=backlog_bytes,
             pull=pull)
@@ -116,6 +155,7 @@ class MacScheduler:
         else:
             self._ue_states.append(state)
         self._ues[ue_id] = state
+        return channel
 
     def unregister_ue(self, ue_id: UeId) -> None:
         """Stop scheduling a UE (it detached or handed over away)."""
@@ -140,11 +180,222 @@ class MacScheduler:
 
     def stop(self) -> None:
         """Stop the slot clock (end of scenario)."""
-        self._process.stop()
+        if self._process is not None:
+            self._process.stop()
+        if self._timer is not None:
+            self._timer.stop()
 
     # ------------------------------------------------------------------ #
     # Slot processing
     # ------------------------------------------------------------------ #
+    def _run_slot_batch(self, barrier_time: float, barrier_seq) -> None:
+        """Timer-wheel callback: run consecutive slot ticks up to a barrier.
+
+        Mirrors :class:`~repro.sim.process.PeriodicProcess` exactly -- the
+        slot body runs first, then the re-arm consumes one tie-break
+        sequence number -- so events a slot schedules at precisely the next
+        tick time still fire before that tick.  The batch ends when the
+        next tick's ``(time, seq)`` key would not be the globally next
+        event: another wheel timer (the ``barrier_*`` arguments), the heap
+        head (a cancelled head conservatively ends the batch too; the
+        engine loop discards it and re-enters), the run window, or a
+        ``stop()``.
+        """
+        sim = self._sim
+        queue = sim.events
+        heap = queue.heap
+        timer = self._timer
+        slot = self.cell.slot_duration
+        # A predicted run of zero-service ticks (see
+        # :meth:`_quiet_run_length`) is executed wholesale by
+        # :meth:`_quiet_bulk`; everything else goes through the exact
+        # per-slot path.  The prediction is recomputed at batch start,
+        # after every serving slot and after each population kernel-step
+        # boundary; heap events fire only between batches, so any state
+        # they change (RLC enqueues, attach/detach) naturally invalidates
+        # it.
+        while True:
+            quiet = self._quiet_run_length()
+            if quiet > 0:
+                if self._quiet_bulk(quiet, barrier_time, barrier_seq):
+                    return
+                continue
+            self._on_slot()
+            # Each tick counts as one processed event, keeping event totals
+            # identical to the heap-driven clock.
+            sim._processed += 1
+            seq = queue._next_seq
+            queue._next_seq = seq + 1
+            nxt = sim.now + slot
+            timer.time = nxt
+            timer.seq = seq
+            if timer.stopped or not sim._running:
+                return
+            if nxt > barrier_time or (nxt == barrier_time
+                                      and seq > barrier_seq):
+                return
+            if heap:
+                head = heap[0]
+                if head[0] < nxt or (head[0] == nxt and head[1] < seq):
+                    return
+            sim.now = nxt
+
+    def _quiet_run_length(self) -> int:
+        """Upcoming ticks guaranteed to grant zero foreground service.
+
+        Inside a slot batch no heap events fire, so foreground backlogs can
+        only change through the scheduler's own pulls -- a slot that grants
+        nothing leaves the next slot's inputs untouched.  Under round robin
+        with an oversubscribed background population (``base == 0``), which
+        UEs receive the remainder PRBs is pure modular arithmetic over the
+        rotation offset, so the run of grantless slots ahead is computable
+        without executing them.  :meth:`_quiet_bulk` then replays only the
+        bookkeeping those slots would have done, in one pass.
+
+        The run is capped at the population's next kernel-step boundary
+        (``demand_count`` may change there) and is zero whenever any
+        foreground UE would be granted, under proportional fair with
+        backlogged UEs, or without a background population.
+        """
+        background = self._background
+        if background is None:
+            return 0
+        boundary = (background._slots_per_step
+                    - background._slot_count % background._slots_per_step)
+        n_active = 0
+        for state in self._ue_states:
+            if state.backlog_bytes() > 0:
+                n_active += 1
+        self._quiet_active_count = n_active
+        if n_active == 0:
+            # The idle-foreground branch of _on_slot is policy-independent
+            # and constant until the boundary refreshes demand_count.
+            return boundary
+        bg_demand = background.demand_count
+        if not bg_demand or not self._round_robin:
+            return 0
+        total = n_active + bg_demand
+        num_prb = self.cell.num_prb
+        if num_prb // total > 0:
+            return 0  # every backlogged UE gets PRBs every slot
+        remainder = num_prb  # base == 0
+        offset = self._rr_offset
+        quiet = boundary
+        for i in range(n_active):
+            pos = (i + offset) % total
+            if pos < remainder:
+                return 0  # the very next slot grants this UE
+            until_grant = total - pos  # wraps to 0, which is < remainder
+            if until_grant < quiet:
+                quiet = until_grant
+        return quiet
+
+    def _quiet_bulk(self, quiet: int, barrier_time: float,
+                    barrier_seq) -> bool:
+        """Run up to ``quiet`` predicted zero-service ticks in one pass.
+
+        Per-tick this replicates exactly the bookkeeping :meth:`_on_slot`
+        performs on a slot whose grants are all zero -- slot/busy counters,
+        the round-robin rotation, the background PRB hand-off (whole cell:
+        foreground got nothing) and the PF throughput-EWMA decay -- and the
+        batching collapses are all bit-exact:
+
+        * the tick count that fits before the barrier/heap head is decided
+          up front (quiet ticks push nothing onto the heap, so the head key
+          is fixed for the whole run);
+        * rotating the offset by ``count`` equals ``count`` single steps
+          (modular arithmetic; ``demand_count`` is constant up to the
+          kernel-step boundary the run is capped at);
+        * the background PRB accumulator adds ``prbs * count`` -- all
+          integer-valued floats, so repeated ``+= prbs`` sums identically;
+        * the EWMA is ``count`` sequential multiplies, and ``keep < 1``
+          means a clamped average stays clamped, so the decay loop may
+          break early (``keep * average + 0.0 == keep * average``
+          bit-exactly, matching both the served- and idle-loop forms).
+
+        Returns ``True`` when the slot batch is over (the tick after the
+        last one processed crosses the barrier, the heap head, or the
+        timer was stopped).
+        """
+        sim = self._sim
+        queue = sim.events
+        heap = queue.heap
+        timer = self._timer
+        slot = self.cell.slot_duration
+        if heap:
+            head = heap[0]
+            head_time = head[0]
+            head_seq = head[1]
+        else:
+            head_time = None
+            head_seq = 0
+        seq0 = queue._next_seq
+        t = sim.now
+        count = 1  # the tick at sim.now is due unconditionally
+        over = False
+        while count < quiet:
+            # Re-arm check of tick ``count``: would tick ``count + 1`` at
+            # ``nxt`` with sequence ``seq`` still be the globally next
+            # event?  Identical comparisons to the per-tick loop.
+            nxt = t + slot
+            seq = seq0 + count - 1
+            if nxt > barrier_time or (nxt == barrier_time
+                                      and seq > barrier_seq):
+                over = True
+                break
+            if head_time is not None and (
+                    head_time < nxt or (head_time == nxt and head_seq < seq)):
+                over = True
+                break
+            t = nxt
+            count += 1
+        background = self._background
+        bg_demand = background.demand_count
+        self.slots += count
+        if self._quiet_active_count:
+            self.busy_slots += count
+            total = self._quiet_active_count + bg_demand
+            self._rr_offset = (self._rr_offset + count) % total
+            prbs = self.cell.num_prb
+        elif bg_demand:
+            self.busy_slots += count
+            prbs = self.cell.num_prb
+        else:
+            prbs = 0
+        if prbs:
+            background._pending_prb_slots += prbs * count
+        background._slot_count += count
+        if background._slot_count % background._slots_per_step == 0:
+            # ``quiet <= boundary`` caps the run, so the only possible
+            # kernel step is at the final tick, whose time is ``t``.
+            background._step(t)
+        keep = 1.0 - self._decay
+        for state in self._ue_states:
+            average = state.average_throughput
+            for _ in range(count):
+                average = keep * average
+                if average <= 1.0:
+                    average = 1.0  # keep < 1: stays clamped from here on
+                    break
+            state.average_throughput = average
+        sim.now = t
+        sim._processed += count
+        queue._next_seq = seq0 + count
+        seq = seq0 + count - 1
+        nxt = t + slot
+        timer.time = nxt
+        timer.seq = seq
+        if over or timer.stopped or not sim._running:
+            return True
+        if nxt > barrier_time or (nxt == barrier_time and seq > barrier_seq):
+            return True
+        if heap:
+            head = heap[0]
+            if head[0] < nxt or (head[0] == nxt and head[1] < seq):
+                return True
+        sim.now = nxt
+        return False
+
     def _on_slot(self) -> None:
         """One TTI: sample channels, allocate PRBs, drain RLC queues.
 
@@ -230,11 +481,22 @@ class MacScheduler:
             remainder = num_prb - base * total_claimants
             offset = self._rr_offset
             fg_prbs = 0
-            ordered = sorted(active, key=lambda s: s.ue_id)
+            ordered = active if len(active) == 1 \
+                else sorted(active, key=lambda s: s.ue_id)
+            if self._vectorized and len(ordered) >= _VECTOR_MIN_UES_RR:
+                # Pure integer arithmetic: identical to the per-index
+                # modcheck in the else-branch, one vector op instead of n.
+                grants = (base + ((np.arange(len(ordered)) + offset)
+                                  % total_claimants < remainder)).tolist()
+            else:
+                grants = None
             for index, state in enumerate(ordered):
-                extra = 1 if (index + offset) % total_claimants < remainder \
-                    else 0
-                prbs = base + extra
+                if grants is not None:
+                    prbs = grants[index]
+                else:
+                    extra = 1 if ((index + offset) % total_claimants
+                                  < remainder) else 0
+                    prbs = base + extra
                 if prbs <= 0:
                     continue
                 fg_prbs += prbs
@@ -282,9 +544,17 @@ class MacScheduler:
         remainder = total - base * n
         allocations: dict[UeId, int] = {}
         ordered = sorted(active, key=lambda s: s.ue_id)
-        for index, state in enumerate(ordered):
-            extra = 1 if (index + self._rr_offset) % n < remainder else 0
-            allocations[state.ue_id] = base + extra
+        if self._vectorized and n >= _VECTOR_MIN_UES_RR:
+            # Pure integer arithmetic, so the numpy path is trivially equal
+            # to the scalar loop below.
+            prbs = (base + ((np.arange(n) + self._rr_offset) % n
+                            < remainder)).tolist()
+            for index, state in enumerate(ordered):
+                allocations[state.ue_id] = prbs[index]
+        else:
+            for index, state in enumerate(ordered):
+                extra = 1 if (index + self._rr_offset) % n < remainder else 0
+                allocations[state.ue_id] = base + extra
         self._rr_offset = (self._rr_offset + 1) % max(1, n)
         return allocations
 
@@ -294,10 +564,15 @@ class MacScheduler:
             total_prb: Optional[int] = None) -> dict[UeId, int]:
         budget = self.cell.num_prb if total_prb is None else total_prb
         weights: dict[UeId, float] = {}
-        for state in active:
-            instantaneous = self.cell.slot_capacity_bytes(
-                efficiencies[state.ue_id]) / self.cell.slot_duration
-            weights[state.ue_id] = instantaneous / state.average_throughput
+        if self._vectorized and len(active) >= _VECTOR_MIN_UES_PF:
+            weights = self._pf_weights_vector(active, efficiencies)
+        else:
+            for state in active:
+                instantaneous = self.cell.slot_capacity_bytes(
+                    efficiencies[state.ue_id]) / self.cell.slot_duration
+                weights[state.ue_id] = instantaneous / state.average_throughput
+        # Builtin sum over insertion order -- np.sum's pairwise reduction
+        # would round differently and break cross-backend bit-identity.
         total_weight = sum(weights.values())
         if total_weight <= 0:
             return self._allocate_round_robin(active, total_prb=total_prb)
@@ -314,6 +589,28 @@ class MacScheduler:
         if leftover > 0 and ordered:
             allocations[ordered[0].ue_id] += leftover
         return allocations
+
+    def _pf_weights_vector(self, active: list[_UeSchedulingState],
+                           efficiencies: dict[UeId, float]
+                           ) -> dict[UeId, float]:
+        """Numpy PF weights, bit-identical to the scalar loop.
+
+        Every operation replicates the scalar evaluation order of
+        ``CellConfig.bytes_per_prb`` / ``slot_capacity_bytes`` elementwise
+        (same doubles in, same doubles out), and the int truncation matches
+        ``int()`` for the non-negative capacities involved.
+        """
+        cell = self.cell
+        effs = np.array([efficiencies[state.ue_id] for state in active])
+        averages = np.array([state.average_throughput for state in active])
+        usable_re = cell.RE_PER_PRB_PER_SLOT * (1.0 - cell.overhead)
+        bits = (usable_re * effs) * cell.efficiency_backoff
+        bytes_per_prb = (bits * cell.tdd_dl_fraction) / 8.0
+        capacities = (cell.num_prb * bytes_per_prb).astype(np.int64)
+        instantaneous = capacities / cell.slot_duration
+        values = (instantaneous / averages).tolist()
+        return {state.ue_id: values[index]
+                for index, state in enumerate(active)}
 
     # ------------------------------------------------------------------ #
     # Introspection

@@ -70,10 +70,11 @@ class TestKernelMechanics:
         assert "repro.ran.background" not in sys.modules
 
     def test_numpy_guard_message(self, monkeypatch):
+        import repro._numpy as _numpy
         import repro.ran.background as background
-        monkeypatch.setattr(background, "np", None)
+        monkeypatch.setattr(_numpy, "np", None)
         with pytest.raises(RuntimeError, match="numpy"):
-            background.require_numpy()
+            background._require_numpy()
 
 
 class TestAccuracyEnvelope:

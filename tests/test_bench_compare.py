@@ -88,3 +88,61 @@ class TestGate:
                                    "--baseline", str(baseline)]) == 0
         saved = json.loads(baseline.read_text())["metrics"]
         assert saved == {"benchmarks/x.py::a:events_per_sec_best": 1234.5}
+
+    def test_baseline_without_metrics_mapping_fails_loudly(self, tmp_path,
+                                                           capsys):
+        """An old or hand-edited baseline schema must produce an actionable
+        message, not a KeyError traceback."""
+        run = _run_file(tmp_path, [_bench("a", {"events_per_sec_best": 1.0})])
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"thresholds": {}}))
+        assert bench_compare.main(["--run", str(run),
+                                   "--baseline", str(baseline)]) == 2
+        assert "no 'metrics' mapping" in capsys.readouterr().err
+
+    def test_corrupt_baseline_fails_loudly(self, tmp_path, capsys):
+        run = _run_file(tmp_path, [_bench("a", {"events_per_sec_best": 1.0})])
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{not json")
+        assert bench_compare.main(["--run", str(run),
+                                   "--baseline", str(baseline)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_non_numeric_baseline_metric_fails_loudly(self, tmp_path, capsys):
+        run = _run_file(tmp_path, [_bench("a", {"events_per_sec_best": 1.0})])
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            {"metrics": {"benchmarks/x.py::a:events_per_sec_best": "fast"}}))
+        assert bench_compare.main(["--run", str(run),
+                                   "--baseline", str(baseline)]) == 2
+        assert "non-numeric" in capsys.readouterr().err
+
+
+class TestBackendMetrics:
+    def test_numpy_rate_is_tracked_and_speedup_is_informational(
+            self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv(bench_compare.WARN_ONLY_ENV, raising=False)
+        extra = {"events_per_sec_best": 1000.0,
+                 "events_per_sec_numpy": 1500.0,
+                 "numpy_speedup": 1.5}
+        run = _run_file(tmp_path, [_bench("a", extra)])
+        baseline = tmp_path / "baseline.json"
+        assert bench_compare.main(["--run", str(run), "--update",
+                                   "--baseline", str(baseline)]) == 0
+        saved = json.loads(baseline.read_text())["metrics"]
+        assert saved["benchmarks/x.py::a:events_per_sec_numpy"] == 1500.0
+        assert saved["benchmarks/x.py::a:numpy_speedup"] == 1.5
+
+        # A numpy-rate regression gates like any other rate...
+        slow = _run_file(tmp_path, [_bench("a", dict(
+            extra, events_per_sec_numpy=1000.0))])
+        assert bench_compare.main(["--run", str(slow),
+                                   "--baseline", str(baseline)]) == 1
+
+        # ...but a speedup-ratio swing alone never does (hard floors live
+        # in the benchmarks themselves).
+        ratio = _run_file(tmp_path, [_bench("a", dict(
+            extra, numpy_speedup=1.0))])
+        assert bench_compare.main(["--run", str(ratio),
+                                   "--baseline", str(baseline)]) == 0
+        assert "informational" in capsys.readouterr().out

@@ -38,6 +38,28 @@ class TestMcsTables:
         assert 0 <= mcs_from_snr(-20) <= 27
         assert 0 <= mcs_from_snr(40) <= 27
 
+    def test_array_mappers_match_scalar_at_boundaries(self):
+        # The numpy engine backend's bit-identity on static channels rests
+        # on the vectorized table lookups rounding exactly like the scalar
+        # bisect at every CQI threshold: pin each threshold itself (a
+        # right-closed boundary) plus one ulp-ish step either side.
+        from repro.channel.mcs import (_CQI_SNR_THRESHOLDS_DB,
+                                       cqi_from_snr_array,
+                                       efficiency_from_snr_array,
+                                       mcs_from_snr_array)
+        probes = []
+        for threshold in _CQI_SNR_THRESHOLDS_DB:
+            probes.extend([np.nextafter(threshold, -np.inf), threshold,
+                           np.nextafter(threshold, np.inf)])
+        probes.extend([-1e9, 1e9])
+        snr = np.asarray(probes)
+        assert cqi_from_snr_array(snr).tolist() == [
+            cqi_from_snr(s) for s in probes]
+        assert efficiency_from_snr_array(snr).tolist() == [
+            efficiency_from_snr(s) for s in probes]
+        assert mcs_from_snr_array(snr).tolist() == [
+            mcs_from_snr(s) for s in probes]
+
 
 class TestCoherenceTime:
     def test_doppler_increases_with_speed(self):

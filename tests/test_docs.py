@@ -18,6 +18,7 @@ import repro.experiments.presets  # noqa: F401  (preset registration)
 import repro.experiments.spec as spec_module
 from repro.registry import (CC_SENDERS, CHANNEL_PROFILES, MARKERS,
                             SCENARIO_PRESETS, SCHEDULERS, WORKLOADS)
+from repro.sim.backends import ENGINE_BACKENDS
 
 DOCS = Path(__file__).resolve().parent.parent / "docs"
 
@@ -44,7 +45,7 @@ def test_docs_tree_exists():
 
 @pytest.mark.parametrize("registry", [
     CC_SENDERS, MARKERS, CHANNEL_PROFILES, SCHEDULERS, WORKLOADS,
-    SCENARIO_PRESETS,
+    SCENARIO_PRESETS, ENGINE_BACKENDS,
 ], ids=lambda r: r.kind)
 def test_every_registered_name_documented(registry, scenarios_tokens):
     for name in registry.names(include_aliases=True):
@@ -57,6 +58,7 @@ def test_every_registered_name_documented(registry, scenarios_tokens):
     spec_module.ScenarioSpec, spec_module.CellSpec, spec_module.UeSpec,
     spec_module.ShardingSpec, spec_module.MobilitySpec,
     spec_module.HandoverSpec, spec_module.PopulationSpec,
+    spec_module.EngineSpec,
 ], ids=lambda c: c.__name__)
 def test_every_spec_field_documented(cls, scenarios_tokens):
     for field in dataclasses.fields(cls):
