@@ -187,6 +187,44 @@ def test_scenario_handover_adaptive_vs_fixed_windows(benchmark):
     assert len(adaptive.handovers) == 2
 
 
+def test_scenario_coupled_core_barrier_roundtrips(benchmark):
+    """Events/sec and barrier round-trips of the coupled-core preset.
+
+    Every flow funnels through the shared wired middlebox and an SNR
+    handover commits two-phase, so the barrier runs at its densest: the
+    middlebox queue floor caps every window and commit points pin the
+    cadence.  ``sync_windows`` (one pipe round-trip each) is the
+    synchronization-overhead trend `scripts/bench_compare.py` tracks —
+    a protocol change that doubles the window count shows up in the
+    BENCH JSON trajectory even if wall-clock noise hides it.
+    """
+    spec = dataclasses.replace(make_preset("coupled-core"),
+                               duration_s=scaled_duration(2.0))
+    start = time.perf_counter()
+    single = run_scenario(
+        dataclasses.replace(spec, sharding=dataclasses.replace(
+            spec.sharding, mode="off")))
+    single_elapsed = time.perf_counter() - start
+    single_eps = single.events_processed / single_elapsed
+
+    sharded = benchmark.pedantic(
+        lambda: run_scenario_sharded(spec, shards=2), rounds=1, iterations=1)
+    sharded_eps = sharded.events_processed / benchmark.stats.stats.min
+    attach_rows(
+        benchmark, [sharded.summary()],
+        events=sharded.events_processed,
+        events_per_sec_best=sharded_eps,
+        single_loop_events_per_sec=single_eps,
+        sync_windows=sharded.sharding_stats["windows"],
+        boundary_exchanges=sharded.sharding_stats["routed_packets"],
+        shards=2)
+    # Static channel: the coupled split must not change what was simulated.
+    assert sharded.total_goodput_mbps() == single.total_goodput_mbps()
+    assert sharded.handovers == single.handovers and sharded.handovers
+    assert sharded.sharding_stats["windows"] > 0
+    assert sharded.sharding_stats["routed_packets"] > 0
+
+
 def test_scenario_dense_cell_population(benchmark):
     """Throughput-of-simulation of the population kernel vs full simulation.
 

@@ -43,7 +43,7 @@ RATE_KEYS = ("events_per_sec_best", "packets_per_sec_best",
 #: gated: cross-backend speedup ratios divide two noisy timings, so their
 #: run-to-run spread is far wider than the rates themselves (the benchmarks
 #: assert their own hard floors where the ISSUE demands one).
-INFO_KEYS = ("numpy_speedup",)
+INFO_KEYS = ("numpy_speedup", "sync_windows")
 
 
 def latest_run(storage: Path) -> Path:

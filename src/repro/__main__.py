@@ -85,6 +85,10 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
         print(spec.to_json())
         return 0
     result = run_scenario(spec)
+    if result.sharding_stats.get("fallback"):
+        blockers = "; ".join(result.sharding_stats.get("blockers", []))
+        print("note: spec cannot be sharded, ran on the single event loop "
+              f"instead ({blockers})", file=sys.stderr)
     summary = result.summary()
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))

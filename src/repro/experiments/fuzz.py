@@ -1,0 +1,184 @@
+"""Randomized scenario fuzzing for the coupled-topology shard barrier.
+
+The shard synchronizer's correctness argument ("any window end is safe,
+any commit point is honoured, ties sort like the single loop") is only as
+good as the scenarios that exercise it.  This module draws small random —
+but always *legal and shardable* — :class:`~repro.experiments.spec.
+ScenarioSpec` instances spanning the coupled features (shared wired
+middlebox, SNR-triggered mobility, scheduled handovers with short
+interruptions) and checks the invariants every spec must hold:
+
+* **Conservation** — the per-flow and per-UE byte accounting agree, every
+  delivered packet has a finite non-negative one-way delay, and marked
+  fractions stay inside ``[0, 1]``.
+* **Shard equivalence** — on static channels the sharded run's per-flow
+  metrics and handover records are bit-identical to the single loop.
+* **Determinism** — running the same spec twice (single loop and sharded)
+  reproduces the result exactly.
+* **No barrier violations** — ``ConservativeSyncError`` never fires; a
+  late boundary item anywhere fails the spec.
+
+``random_spec`` is a pure function of the :class:`random.Random` instance
+it is handed, so a seed fully reproduces a failing spec — the property
+tests in ``tests/test_fuzz_spec.py`` drive it through hypothesis and the
+CI smoke job replays fixed seeds via ``scripts/fuzz_specs.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import warnings
+from typing import Optional, Sequence
+
+from repro.experiments.scenario import ScenarioResult, run_scenario
+from repro.experiments.sharded import run_scenario_sharded, sharding_blockers
+from repro.experiments.spec import (CellSpec, HandoverSpec, MobilitySpec,
+                                    ScenarioSpec, ShardingSpec, UeSpec)
+from repro.units import ms
+from repro.workloads.flows import FlowSpec
+
+__all__ = ["random_spec", "check_spec", "flows_identical"]
+
+#: Congestion controllers the fuzzer mixes (all deterministic).
+_CC_NAMES = ("prague", "cubic", "bbr2")
+
+#: Coupling modes a drawn spec lands in, with rough weights: plain multi-cell
+#: splits, a shared wired middlebox, SNR mobility, both at once, and a
+#: scheduled ping-pong handover whose interruption is shorter than the
+#: barrier lookahead (the commit-point path).
+_COUPLINGS = ("plain", "mbx", "snr", "mbx+snr", "short-ho")
+
+
+def random_spec(rng: random.Random, duration_s: float = 0.4) -> ScenarioSpec:
+    """Draw one shardable coupled scenario from ``rng``.
+
+    Pure in ``rng``: the same :class:`random.Random` state yields the same
+    spec, so one integer seed reproduces any failure.
+    """
+    coupling = rng.choice(_COUPLINGS)
+    n_cells = rng.randint(2, 3)
+    cells = [CellSpec(cell_id=cell) for cell in range(n_cells)]
+    n_ues = n_cells + rng.randint(0, 1)
+    ues = [UeSpec(ue_id=ue, cell_id=ue % n_cells,
+                  mean_snr_db=5.0 if ue == 0 and "snr" in coupling else None)
+           for ue in range(n_ues)]
+    # Staggered starts and distinct WAN RTTs: the single loop resolves
+    # same-instant ties by flow declaration order and the boundary sort
+    # mirrors that, but keeping the draws distinct exercises the barrier on
+    # timelines that never collapse onto one instant.
+    flows = [FlowSpec(flow_id=i, ue_id=i,
+                      cc_name=rng.choice(_CC_NAMES),
+                      label=f"fuzz-{i}",
+                      start_time=round(0.015 * i + rng.random() * 0.01, 6),
+                      wan_rtt=ms(rng.choice((18, 28, 38, 58)) + 2 * i))
+             for i in range(n_ues)]
+    mobility = MobilitySpec()
+    if "snr" in coupling:
+        mobility = MobilitySpec(mode="snr", snr_threshold_db=10.0,
+                                min_stay_s=rng.choice((0.1, 0.2)),
+                                check_interval_s=0.05)
+    elif coupling == "short-ho":
+        mobility = MobilitySpec(
+            mode="schedule", ho_mode=rng.choice(("forward", "flush")),
+            interruption_s=0.005,
+            handovers=[HandoverSpec(time=duration_s / 2, ue_id=0,
+                                    target_cell=1)])
+    wired: Optional[float] = None
+    schedule: list = []
+    if "mbx" in coupling:
+        wired = float(rng.choice((30, 50, 80)))
+        if rng.random() < 0.5:
+            schedule = [(duration_s / 2, wired * 0.5)]
+    return ScenarioSpec(
+        name=f"fuzz-{coupling}", num_ues=0, duration_s=duration_s,
+        channel_profile="static", marker="l4span",
+        seed=rng.randrange(2 ** 31),
+        wired_bottleneck_mbps=wired, wired_bottleneck_schedule=schedule,
+        cells=cells, ues=ues, flows=flows, mobility=mobility)
+
+
+# --------------------------------------------------------------------------- #
+# Invariant checks
+# --------------------------------------------------------------------------- #
+def flows_identical(a: ScenarioResult, b: ScenarioResult) -> bool:
+    """Bit-exact equality of the two results' per-flow metrics."""
+    if len(a.flows) != len(b.flows):
+        return False
+    return all(
+        x.flow_id == y.flow_id
+        and x.owd_samples == y.owd_samples
+        and x.rtt_samples == y.rtt_samples
+        and x.goodput_bytes_per_s == y.goodput_bytes_per_s
+        and x.congestion_events == y.congestion_events
+        and x.marked_fraction == y.marked_fraction
+        for x, y in zip(a.flows, b.flows))
+
+
+def _conservation_violations(result: ScenarioResult) -> list[str]:
+    """Byte/packet accounting checks inside one result."""
+    violations: list[str] = []
+    spec = result.config
+    flow_bytes = 0.0
+    for flow, flow_spec in zip(result.flows, spec.resolved_flows()):
+        active = spec.duration_s - flow_spec.start_time
+        if flow_spec.stop_time is not None:
+            active = min(active, flow_spec.stop_time - flow_spec.start_time)
+        flow_bytes += flow.goodput_bytes_per_s * max(active, 1e-9)
+        if not 0.0 <= flow.marked_fraction <= 1.0:
+            violations.append(
+                f"flow {flow.flow_id} marked_fraction {flow.marked_fraction}")
+        if any(owd < 0 or owd != owd or owd == float("inf")
+               for owd in flow.owd_samples):
+            violations.append(
+                f"flow {flow.flow_id} has a negative/non-finite OWD sample")
+    ue_bytes = sum(result.per_ue_throughput.values()) * spec.duration_s
+    if abs(flow_bytes - ue_bytes) > 1e-6 * max(flow_bytes, ue_bytes, 1.0):
+        violations.append(
+            "byte accounting disagrees: per-flow "
+            f"{flow_bytes:.1f}B vs per-UE {ue_bytes:.1f}B")
+    return violations
+
+
+def check_spec(spec: ScenarioSpec,
+               shard_counts: Sequence[int] = (2,)) -> list[str]:
+    """Run ``spec`` on the single loop and sharded; return violations.
+
+    An empty list means every invariant held.  Any exception out of a
+    sharded run (``ConservativeSyncError`` included) is itself a violation,
+    reported rather than raised so a fuzz campaign sees all failures.
+    """
+    spec = spec.validate()
+    violations = [f"unexpected sharding blocker: {reason}"
+                  for reason in sharding_blockers(spec)]
+    if violations:
+        return violations
+    single_spec = dataclasses.replace(spec, sharding=ShardingSpec(mode="off"))
+    single = run_scenario(single_spec)
+    if not flows_identical(single, run_scenario(single_spec)):
+        violations.append("single loop is not deterministic across repeats")
+    violations.extend(_conservation_violations(single))
+    for shards in shard_counts:
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                sharded = run_scenario_sharded(spec, shards=shards,
+                                               inprocess=True)
+        except Exception as exc:  # noqa: BLE001 - any barrier fault counts
+            violations.append(f"shards={shards} raised "
+                              f"{type(exc).__name__}: {exc}")
+            continue
+        if sharded.sharding_stats.get("fallback"):
+            violations.append(f"shards={shards} silently fell back: "
+                              f"{sharded.sharding_stats}")
+            continue
+        if not flows_identical(single, sharded):
+            violations.append(
+                f"shards={shards} per-flow metrics differ from single loop")
+        if single.handovers != sharded.handovers:
+            violations.append(
+                f"shards={shards} handover records differ from single loop")
+        violations.extend(
+            f"shards={shards}: {reason}"
+            for reason in _conservation_violations(sharded))
+    return violations

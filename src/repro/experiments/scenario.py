@@ -44,7 +44,7 @@ from repro.net.addresses import FiveTuple
 from repro.net.packet import Packet
 from repro.net.pipe import DelayPipe
 from repro.net.router import BottleneckRouter
-from repro.ran.core import FiveGCore
+from repro.ran.core import CORE_PROCESSING_DELAY, FiveGCore
 from repro.ran.gnb import GNodeB
 from repro.ran.identifiers import RlcMode
 from repro.ran.mac import resolve_scheduler
@@ -273,7 +273,8 @@ class BuiltScenario:
         self.mobility: Optional[MobilityManager] = None
         if config.mobility.enabled:
             self.mobility = MobilityManager(
-                self, mobility_topology(config), config.mobility)
+                self, mobility_topology(config), config.mobility,
+                commit_lag=snr_commit_lag(config))
         if config.rate_probe and isinstance(self.marker, L4SpanLayer):
             self.rate_probe = RateEstimationProbe(self.sim, self.gnb,
                                                   self.marker)
@@ -507,6 +508,37 @@ class BuiltScenario:
             events_processed=events,
             handovers=handovers,
             background=background)
+
+
+def min_snr_commit_lag(spec: ScenarioSpec) -> float:
+    """The smallest decide-to-commit lag a shard split can honour exactly.
+
+    One conservative lookahead (the barrier that publishes the decision to
+    every shard) plus the longest WAN one-way leg (the latest-resolving
+    routing lookup in flight when the decision lands) plus the core
+    processing delay (a strict safety margin, so lookups at exactly the
+    commit time always see the adopted itinerary first).
+    """
+    rtts = [flow.wan_rtt if flow.wan_rtt is not None else spec.wan_rtt
+            for flow in spec.resolved_flows()]
+    if not rtts:
+        rtts = [spec.wan_rtt]
+    lookahead = max(min(rtts) / 2.0, 1e-4)
+    return lookahead + max(rtts) / 2.0 + CORE_PROCESSING_DELAY
+
+
+def snr_commit_lag(spec: ScenarioSpec) -> float:
+    """The decide-to-commit lag of this spec's SNR-triggered handovers.
+
+    The spec's ``mobility.commit_lag_s`` override, or the computed safe
+    minimum (:func:`min_snr_commit_lag`).  The single loop and the sharded
+    runtime both resolve the lag through this function, which is what makes
+    their handover timelines — and on static channels their per-flow
+    metrics — identical.
+    """
+    if spec.mobility.commit_lag_s is not None:
+        return spec.mobility.commit_lag_s
+    return min_snr_commit_lag(spec)
 
 
 def mobility_topology(spec: ScenarioSpec) -> MobilityTopology:

@@ -53,11 +53,36 @@ shard.  Handover re-attachments create *fresh attach-qualified* streams
 contract under mobility.  Consequently a sharded run is deterministic for a
 fixed shard map, reproducible across repeats and shard counts, and — on a
 static channel — produces **per-flow metrics identical to the single-loop
-run**.  Scenarios the split cannot reproduce exactly are refused up front
-by :func:`sharding_blockers` and fall back to the single loop: cells
-coupled through a wired middlebox, wrapped >250-UE address spaces,
-SNR-triggered mobility (decided mid-run) and handover interruptions shorter
-than the lookahead.
+run**.
+
+Coupled topologies
+------------------
+Three couplings the barrier once refused are now first-class protocol:
+
+* **A shared wired middlebox** is hosted on one shard; every shard cuts
+  its senders at WAN entry (``mbx_in`` boundary items into the host
+  queue), the host's egress routes each packet by serving cell at egress
+  time (``mbx_core_dl``, pre-stamped), and the synchronizer caps every
+  window at the host queue's earliest possible egress plus the core
+  processing delay — the one hop shorter than the lookahead.
+* **SNR-triggered handovers** run two-phase decide-then-commit: the
+  serving shard's monitor *decides*, the decision crosses the next barrier
+  as a broadcast ``ho_decision`` item, and every loop *commits* the
+  transition ``commit_lag`` later — the lag (one lookahead + the longest
+  WAN leg + core processing, see
+  :func:`~repro.experiments.scenario.snr_commit_lag`) is exactly what
+  guarantees every shard and every in-flight routing lookup learns of the
+  decision strictly before the commit time.  Each commit pins a barrier at
+  its exact time.
+* **Interruptions shorter than the lookahead** turn cross-shard handover
+  times into *commit points* (:func:`schedule_commit_points`): the barrier
+  lands exactly on the handover and the transfer crosses with a
+  same-instant stamp instead of one lookahead late.
+
+Scenarios a split genuinely cannot reproduce exactly are still refused up
+front by :func:`sharding_blockers` and fall back (with a warning) to the
+single loop: wrapped >250-UE address spaces, zero-rate middlebox schedules
+and explicitly-undersized SNR commit lags.
 
 The per-shard collector outputs are recombined by the merge helpers in
 :mod:`repro.metrics.collectors` into the exact single-loop report schema;
@@ -72,21 +97,30 @@ import multiprocessing
 import os
 import warnings
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Optional
+
+from bisect import bisect_right, insort
 
 from repro.experiments.scenario import (BuiltScenario, FlowResult,
                                         ScenarioResult, ScenarioSpec,
                                         attach_data_gaps, build_scenario,
-                                        mobility_topology, ue_ip_address)
+                                        min_snr_commit_lag,
+                                        mobility_topology, snr_commit_lag,
+                                        ue_ip_address)
 from repro.experiments.runner import active_sweep_workers, core_budget
 from repro.experiments.spec import MobilitySpec, ShardingSpec
 from repro.metrics.collectors import (DelayBreakdownAccumulator,
                                       ThroughputCollector, TimeSeries,
                                       merge_numeric_summaries,
                                       merge_sample_dicts)
+from repro.net.link import Link
 from repro.net.packet import Packet
-from repro.ran.mobility import (HandoverTransfer, ItineraryLookup,
+from repro.net.router import BottleneckRouter
+from repro.ran.core import CORE_PROCESSING_DELAY
+from repro.ran.mobility import (HandoverDecision, HandoverTransfer,
                                 MobilityManager, merge_handover_records)
+from repro.units import mbps, transmission_time
 
 #: Environment variable forcing the in-process synchronizer (no worker
 #: processes), e.g. on sandboxes that cannot fork.
@@ -95,6 +129,11 @@ INPROCESS_ENV = "REPRO_SHARD_INPROCESS"
 #: Seconds the coordinator waits for a worker message before declaring the
 #: run wedged (workers simulate milliseconds per window; this is generous).
 _WORKER_TIMEOUT_S = 600.0
+
+#: Pseudo shard index addressing *every other* shard: the boundary router
+#: fans a broadcast item (an SNR handover decision) out to all shards but
+#: its source.
+_BROADCAST = -1
 
 
 class ShardPlanError(ValueError):
@@ -131,12 +170,18 @@ class ShardPlan:
 
 
 def sharding_blockers(spec: ScenarioSpec) -> list[str]:
-    """Human-readable reasons why ``spec`` cannot be sharded (empty = can)."""
+    """Human-readable reasons why ``spec`` cannot be sharded (empty = can).
+
+    The coupled-topology protocol retired the historical blockers: a shared
+    wired middlebox is hosted on one shard with its traffic exchanged as
+    boundary items, SNR-triggered handovers run the two-phase
+    decide-then-commit protocol, and interruptions shorter than the
+    lookahead force a barrier at the commit time.  What remains unshardable
+    is what a split genuinely cannot reproduce byte-for-byte.
+    """
     blockers = []
     if len(spec.resolved_cells()) < 2:
         blockers.append("fewer than two cells")
-    if spec.wired_bottleneck_mbps is not None:
-        blockers.append("a wired middlebox queues all cells' traffic jointly")
     ues = spec.resolved_ues()
     if len({ue_ip_address(ue.ue_id) for ue in ues}) < len(ues):
         # The /24 client address space wraps past 250 UEs; the single loop
@@ -145,18 +190,24 @@ def sharding_blockers(spec: ScenarioSpec) -> list[str]:
         # reproduce that byte-for-byte when the colliding UEs land on
         # different shards.  Refuse rather than silently diverge.
         blockers.append("UE address space wraps (>250 UEs share an IP)")
-    if spec.mobility.enabled:
-        if spec.mobility.mode == "snr":
-            # SNR triggers are decided mid-run from channel draws; the
-            # boundary router cannot route by a schedule that does not
-            # exist yet.
-            blockers.append("snr-triggered handovers are decided mid-run")
-        elif spec.mobility.interruption_s < boundary_lookahead(spec) - 1e-12:
-            # The handover transfer crosses shards one lookahead after the
-            # detach; the target must still be inside its interruption
-            # window when it lands, or receiver state would arrive late.
-            blockers.append("handover interruption is shorter than the "
-                            "conservative lookahead window")
+    if spec.wired_bottleneck_mbps is not None:
+        rates = [spec.wired_bottleneck_mbps]
+        rates.extend(rate for _t, rate in spec.wired_bottleneck_schedule)
+        if min(rates) <= 0:
+            # A zero-rate middlebox stalls its link with no event bounding
+            # the eventual release; the synchronizer cannot place a safe
+            # window floor under it.
+            blockers.append("the wired middlebox schedule sets a zero rate")
+    if (spec.mobility.mode == "snr"
+            and spec.mobility.commit_lag_s is not None
+            and spec.mobility.commit_lag_s
+            < min_snr_commit_lag(spec) - 1e-12):
+        # A commit lag below one lookahead + the longest WAN leg means a
+        # decision could commit before the barrier publishes it (or before
+        # in-flight routing lookups resolve); shards would diverge.
+        blockers.append("mobility.commit_lag_s is below the safe minimum "
+                        f"({min_snr_commit_lag(spec):.6f}s) a shard split "
+                        "can honour")
     return blockers
 
 
@@ -232,7 +283,9 @@ def split_spec(spec: ScenarioSpec, plan: ShardPlan) -> list[ScenarioSpec]:
     and the shard-local :class:`~repro.ran.mobility.MobilityManager` built
     from the full spec executes arrivals/departures against the local
     cells.  Only the shard hosting the scenario's first cell keeps
-    ``rate_probe`` (the single loop probes the first cell only).
+    ``rate_probe`` (the single loop probes the first cell only).  The wired
+    middlebox is likewise stripped: the coupling runtime rebuilds the one
+    shared queue on its host shard instead of one queue per shard.
     """
     cells = spec.resolved_cells()
     ues = spec.resolved_ues()
@@ -255,8 +308,48 @@ def split_spec(spec: ScenarioSpec, plan: ShardPlan) -> list[ScenarioSpec]:
             flows=shard_flows,
             rate_probe=spec.rate_probe and first_cell in shard_cell_ids,
             sharding=ShardingSpec(mode="off"),
-            mobility=MobilitySpec()))
+            mobility=MobilitySpec(),
+            wired_bottleneck_mbps=None,
+            wired_bottleneck_schedule=[]))
     return subs
+
+
+def potentially_mobile_ues(spec: ScenarioSpec) -> set[int]:
+    """UEs whose serving cell may change mid-run under this spec.
+
+    Scheduled mobility names them in its itineraries; the SNR monitor may
+    move any watched UE (``mobility.ues``, or every UE when empty), so a
+    sharded run treats the whole watched set as mobile — their flows are
+    entry-routed by the dynamic itinerary and their samples re-merged by
+    :func:`merge_shard_results`, whether or not a handover actually fires.
+    """
+    if not spec.mobility.enabled:
+        return set()
+    if spec.mobility.mode == "snr":
+        if spec.mobility.ues:
+            return set(spec.mobility.ues)
+        return {ue.ue_id for ue in spec.resolved_ues()}
+    return mobility_topology(spec).mobile_ue_ids()
+
+
+def schedule_commit_points(spec: ScenarioSpec, plan: ShardPlan) -> list[float]:
+    """Barrier times the handover *schedule* forces on the synchronizer.
+
+    A cross-shard handover whose interruption is shorter than the lookahead
+    cannot ship its transfer one lookahead late (receiver state would land
+    after service resumed); instead the synchronizer places a barrier at
+    the handover time itself and the transfer crosses with a same-instant
+    delivery stamp.  Interruptions of at least one lookahead keep the
+    classic stamp and need no barrier.
+    """
+    if spec.mobility.interruption_s >= plan.lookahead - 1e-12:
+        return []
+    points = []
+    for tr in mobility_topology(spec).transitions():
+        if (plan.assignment[tr.from_cell] != plan.assignment[tr.to_cell]
+                and 0.0 < tr.time < spec.duration_s):
+            points.append(tr.time)
+    return sorted(set(points))
 
 
 def mobility_coupling_intervals(spec: ScenarioSpec,
@@ -321,37 +414,94 @@ class _SyncPlan:
     every shard's next pending event and every in-flight boundary delivery
     are provably later — any future handoff happens at an event ≥ that
     floor and is delivered ≥ one lookahead after it.
+
+    Two coupling mechanisms constrain every mode, fixed included:
+
+    * **Commit points** — exact times a barrier must land on: scheduled
+      cross-shard handovers with interruption < lookahead (known up front)
+      and SNR handover commits (added mid-run when a decision crosses the
+      barrier).  A commit shrinks the next window to the commit time.
+    * **The middlebox floor** — with a shared wired middlebox hosted on one
+      shard, its egress feeds *remote* cores only one core-processing delay
+      later, far inside the lookahead.  The window is capped at the
+      earliest possible egress (the host's in-flight completion / earliest
+      pending arrival, combined with inbound deliveries routed to the
+      host) plus that processing delay; arrivals caused by events still
+      behind the global floor land a full lookahead + processing later and
+      never bind.
+
+    ``always_coupled`` (SNR mobility or a middlebox) disables schedule
+    jumps — there is no schedule proving any phase boundary-free.
     """
 
     def __init__(self, horizon: float, lookahead: float,
                  boundary_required: bool, adaptive: bool,
-                 coupling: list[tuple[float, float]]) -> None:
+                 coupling: list[tuple[float, float]],
+                 commit_points: Optional[list[float]] = None,
+                 always_coupled: bool = False,
+                 mbx_shard: Optional[int] = None,
+                 core_processing: float = CORE_PROCESSING_DELAY) -> None:
         self.horizon = horizon
         self.lookahead = lookahead
         self.boundary_required = boundary_required
         self.adaptive = adaptive
         self.coupling = coupling
+        self.commit_points: list[float] = sorted(set(commit_points or ()))
+        self.always_coupled = always_coupled
+        self.mbx_shard = mbx_shard
+        self.core_processing = core_processing
         self.windows = 0
+
+    def add_commit_point(self, when: float) -> None:
+        """Register a mid-run commit (an SNR decision crossing the barrier)."""
+        if when < self.horizon and when not in self.commit_points:
+            insort(self.commit_points, when)
+
+    def _commit_cap(self, now: float) -> Optional[float]:
+        index = bisect_right(self.commit_points, now + 1e-12)
+        if index < len(self.commit_points):
+            return self.commit_points[index]
+        return None
+
+    def _capped(self, now: float, window: float,
+                mbx_floor: Optional[float]) -> float:
+        cap = self._commit_cap(now)
+        if cap is not None:
+            window = min(window, cap)
+        if self.mbx_shard is not None and mbx_floor is not None:
+            window = min(window, mbx_floor + self.core_processing)
+        # Every component is strictly after ``now`` (commit caps by
+        # construction, the middlebox bound by the processing delay), so
+        # the clamp below never binds; it guards hand-built plans.
+        return min(self.horizon, max(window, now + 1e-12))
 
     def first_window(self) -> float:
         """Where the first barrier lands (the horizon when boundary-free)."""
         if not self.boundary_required:
             return self.horizon
-        if self.adaptive:
+        window = min(self.horizon, self.lookahead)
+        if self.adaptive and not self.always_coupled:
             jump = self._jump_target(0.0)
             if jump is not None:
-                return jump
-        return min(self.horizon, self.lookahead)
+                window = jump
+        # The middlebox is provably idle before the first window (the
+        # earliest WAN entry delivers one lookahead in), so only commit
+        # points cap it.
+        cap = self._commit_cap(0.0)
+        if cap is not None:
+            window = min(window, cap)
+        return window
 
     def next_window(self, now: float, peeks: list[Optional[float]],
-                    min_deliver: Optional[float], all_idle: bool) -> float:
+                    min_deliver: Optional[float], all_idle: bool,
+                    mbx_floor: Optional[float] = None) -> float:
         """The next barrier after ``now`` given the shards' reports."""
         if now >= self.horizon:
             return now
-        if self.adaptive and all_idle:
+        if self.adaptive and all_idle and not self.always_coupled:
             jump = self._jump_target(now)
             if jump is not None:
-                return jump
+                return self._capped(now, jump, mbx_floor)
         base = now + self.lookahead
         if self.adaptive:
             floors = [p for p in peeks if p is not None]
@@ -359,7 +509,7 @@ class _SyncPlan:
                 floors.append(min_deliver)
             if floors:
                 base = max(base, min(floors) + self.lookahead)
-        return min(self.horizon, base)
+        return self._capped(now, base, mbx_floor)
 
     def _jump_target(self, now: float) -> Optional[float]:
         """Next barrier when no coupling overlaps ``now``; None if coupled."""
@@ -440,14 +590,42 @@ class ShardResult:
     background: dict = field(default_factory=dict)
 
 
+class _DynamicItinerary:
+    """A UE's serving-cell timeline, growable by adopted SNR decisions.
+
+    The scheduled prefix is immutable; :meth:`extend` appends a commit —
+    lookups strictly before the commit time keep resolving the old cell,
+    which is why a shard may adopt a decision the instant it learns of it
+    (the commit lag guarantees no lookup at or past the commit time has
+    been evaluated yet).
+    """
+
+    __slots__ = ("_times", "_cells")
+
+    def __init__(self, itinerary: list[tuple[float, int]]) -> None:
+        self._times = [entry[0] for entry in itinerary]
+        self._cells = [entry[1] for entry in itinerary]
+
+    def cell_at(self, t: float) -> int:
+        """The serving cell at time ``t`` (handover boundaries inclusive)."""
+        return self._cells[max(bisect_right(self._times, t) - 1, 0)]
+
+    def extend(self, time: float, cell: int) -> None:
+        """Append a committed handover (commit times strictly increase)."""
+        self._times.append(time)
+        self._cells.append(cell)
+
+
 class _MobileWanPath:
     """The home-shard forward path of a mobile flow: routed at WAN entry.
 
     The cut happens at pipe *entry* because that is where one full WAN leg
     of latency — at least the conservative lookahead — still lies ahead, so
     the handoff can carry the true core-arrival time.  Arrival-time routing
-    against the handover schedule reproduces exactly the single loop's
-    route-at-core-ingress behaviour.
+    against the (dynamic) itinerary reproduces exactly the single loop's
+    route-at-core-ingress behaviour: scheduled handovers are known up
+    front, SNR commits are appended when their decisions are adopted —
+    always before any lookup at or past the commit time.
     """
 
     def __init__(self, runtime: "_ShardMobility", flow_id: int,
@@ -455,9 +633,9 @@ class _MobileWanPath:
         self._runtime = runtime
         self._flow_id = flow_id
         self._leg = wan_leg
-        # Resolved once: this object replaces the sender's path for the
-        # whole run, so the lookup below executes per downlink packet.
-        self._itinerary = ItineraryLookup(runtime.itineraries[ue_id])
+        # Resolved once: the shared dynamic itinerary object (adopted SNR
+        # commits mutate it in place, visible to this cached reference).
+        self._itinerary = runtime.itinerary_of(ue_id)
 
     def receive(self, packet: Packet) -> None:
         """Route one downlink packet by its core-arrival time."""
@@ -504,8 +682,12 @@ class _ShardMobility:
     Builds the shard-local :class:`MobilityManager` (arrivals into and
     departures from local cells), rewires the home shard's mobile senders
     onto :class:`_MobileWanPath`, pre-routes mobile uplink through
-    :class:`_MobilityBoundarySink`, and ships handover transfers across
-    the boundary with a one-lookahead delivery stamp.
+    :class:`_MobilityBoundarySink`, ships handover transfers across the
+    boundary (stamped one lookahead late, or at the commit barrier itself
+    when the interruption is shorter than the lookahead), and — for SNR
+    mobility — publishes this shard's handover decisions as broadcast
+    boundary items and adopts the other shards' into the dynamic
+    itineraries.
     """
 
     def __init__(self, host: "ShardHost", full_spec: ScenarioSpec,
@@ -515,6 +697,7 @@ class _ShardMobility:
         self.assignment = {int(cell): int(shard)
                            for cell, shard in assignment.items()}
         self.lookahead = lookahead
+        self.interruption = full_spec.mobility.interruption_s
         scenario = host.scenario
         self.sim = scenario.sim
         self.core = scenario.core
@@ -522,19 +705,31 @@ class _ShardMobility:
         self.boundary = host.boundary
         self.topology = mobility_topology(full_spec)
         self.itineraries = self.topology.itineraries
-        mobile_ues = self.topology.mobile_ue_ids()
+        self._dynamic: dict[int, _DynamicItinerary] = {
+            ue_id: _DynamicItinerary(itinerary)
+            for ue_id, itinerary in self.itineraries.items()}
+        mobile_ues = potentially_mobile_ues(full_spec)
         home_shard = {ue_id: self.assignment[itin[0][1]]
                       for ue_id, itin in self.itineraries.items()}
         local_cells = {cell for cell, shard in self.assignment.items()
                        if shard == self.shard_index}
-        visiting = {ue_id for ue_id in mobile_ues
-                    if home_shard[ue_id] != self.shard_index
-                    and any(self.assignment[cell] == self.shard_index
-                            for _t, cell in self.itineraries[ue_id])}
+        snr_mode = full_spec.mobility.mode == "snr"
+        if snr_mode:
+            # Any watched UE may be handed to any cell; every away-from-home
+            # watched UE is a potential visitor here.
+            visiting = {ue_id for ue_id in mobile_ues
+                        if home_shard[ue_id] != self.shard_index}
+        else:
+            visiting = {ue_id for ue_id in mobile_ues
+                        if home_shard[ue_id] != self.shard_index
+                        and any(self.assignment[cell] == self.shard_index
+                                for _t, cell in self.itineraries[ue_id])}
         self.manager = MobilityManager(
             scenario, self.topology, full_spec.mobility,
             local_cells=local_cells, transfer_out=self._send_transfer,
-            visiting_ues=visiting)
+            visiting_ues=visiting,
+            commit_lag=snr_commit_lag(full_spec),
+            decision_out=self._publish_decision if snr_mode else None)
         # Per-mobile-flow routing tables (home shard, WAN one-way leg).
         self.flow_home: dict[int, int] = {}
         self.flow_wan_leg: dict[int, float] = {}
@@ -546,7 +741,9 @@ class _ShardMobility:
             self.flow_home[flow.flow_id] = home_shard[flow.ue_id]
             self.flow_wan_leg[flow.flow_id] = rtt / 2.0
             if home_shard[flow.ue_id] == self.shard_index:
-                # Cut this flow's forward path at WAN entry.
+                # Cut this flow's forward path at WAN entry.  (The shared
+                # middlebox runtime, when present, re-cuts every sender —
+                # mobile ones included — through the middlebox host.)
                 sender = scenario.senders[flow.flow_id]
                 sender.path = _MobileWanPath(self, flow.flow_id, flow.ue_id,
                                              rtt / 2.0)
@@ -554,10 +751,246 @@ class _ShardMobility:
         scenario.throughput.retain_events_for = self.mobile_flow_ids
         scenario.core.remote_sink = _MobilityBoundarySink(self, self.boundary)
 
+    def itinerary_of(self, ue_id: int) -> _DynamicItinerary:
+        """The UE's shared (mutable) serving-cell timeline."""
+        return self._dynamic[ue_id]
+
+    def _transfer_stamp(self, transfer_time: float) -> float:
+        # Interruption >= lookahead: the classic PR-5 stamp, no barrier
+        # needed.  Shorter: the synchronizer barriers exactly at the commit
+        # time and the transfer crosses with a same-instant stamp.
+        if self.interruption >= self.lookahead - 1e-12:
+            return transfer_time + self.lookahead
+        return transfer_time
+
     def _send_transfer(self, transfer: HandoverTransfer,
                        target_cell: int) -> None:
-        self.boundary.hand_off(transfer.time + self.lookahead, transfer,
+        self.boundary.hand_off(self._transfer_stamp(transfer.time), transfer,
                                self.assignment[target_cell], "ho_transfer")
+
+    def _publish_decision(self, decision: HandoverDecision) -> None:
+        """Decide phase, shard side: adopt locally, broadcast to the rest."""
+        self._dynamic[decision.ue_id].extend(decision.commit_at,
+                                             decision.to_cell)
+        self.boundary.hand_off(decision.commit_at, decision,
+                               _BROADCAST, "ho_decision")
+
+    def adopt_decision(self, decision: HandoverDecision) -> None:
+        """A broadcast decision landed: itinerary first, then the manager."""
+        self._dynamic[decision.ue_id].extend(decision.commit_at,
+                                             decision.to_cell)
+        self.manager.adopt_decision(decision)
+
+
+# --------------------------------------------------------------------- #
+# The shared wired middlebox, hosted on one shard
+# --------------------------------------------------------------------- #
+class _TrackedLink(Link):
+    """A :class:`~repro.net.link.Link` exposing its in-flight completion.
+
+    Behaviourally identical to the base link (the transmit body is a copy);
+    it additionally records when the packet currently on the wire finishes
+    serialising — the middlebox half of the synchronizer's window floor.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Simulation time the in-flight serialisation completes, or None
+        #: when nothing is on the wire.
+        self.next_completion: Optional[float] = None
+
+    def _transmit_next(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._busy = False
+            self.next_completion = None
+            return
+        if self.aqm is not None:
+            verdict = self.aqm.on_dequeue(packet, self.queue, self._sim.now)
+            if verdict is False:
+                self.dropped_by_aqm += 1
+                self.next_completion = None
+                self._sim.call_soon(self._transmit_next)
+                return
+        self._busy = True
+        serialization = transmission_time(packet.size, self.rate)
+        if serialization == float("inf"):
+            # Stalled zero-rate link; unreachable through
+            # run_scenario_sharded (sharding_blockers refuses zero rates).
+            self.queue._queue.appendleft(packet)  # noqa: SLF001 - re-queue head
+            self.queue.bytes += packet.size
+            self._busy = False
+            self.next_completion = None
+            return
+        self.next_completion = self._sim.now + serialization
+        self._sim.schedule(serialization, self._finish_transmission, packet)
+
+
+class _MiddleboxWanPath:
+    """A sender's forward path cut at WAN entry, aimed at the middlebox.
+
+    Mirrors :class:`_MobileWanPath`: the WAN pipe's one-way leg is applied
+    arithmetically, and the packet reaches the shared queue — local call or
+    boundary item — at exactly the single loop's pipe-exit time.
+    """
+
+    __slots__ = ("_runtime", "_leg")
+
+    def __init__(self, runtime: "_SharedMiddlebox", wan_leg: float) -> None:
+        self._runtime = runtime
+        self._leg = wan_leg
+
+    def receive(self, packet: Packet) -> None:
+        self._runtime.send(packet, self._leg)
+
+
+class _MiddleboxEgress:
+    """The middlebox output link's sink on the host shard."""
+
+    __slots__ = ("_runtime",)
+
+    def __init__(self, runtime: "_SharedMiddlebox") -> None:
+        self._runtime = runtime
+
+    def receive(self, packet: Packet) -> None:
+        self._runtime.egress(packet)
+
+
+class _SharedMiddlebox:
+    """One shard-spanning wired middlebox, its queue hosted on one shard.
+
+    Every shard re-cuts its local senders' forward paths at WAN entry
+    (:class:`_MiddleboxWanPath`); packets converge on the host shard's
+    single :class:`BottleneckRouter` — crossing the boundary as ``mbx_in``
+    items when the sender lives elsewhere — and its egress routes each
+    packet to the shard serving the destination UE *at egress time*
+    (``mbx_core_dl`` items, pre-stamped ``core_ingress``, delivered one
+    core-processing delay later).  Uplink bypasses the middlebox exactly
+    like the single loop's topology.
+
+    The host side also maintains the synchronizer's window floor: the
+    earliest time the queue could next emit a packet (:meth:`floor`),
+    tracked from the in-flight serialisation and a heap of known future
+    arrivals.
+    """
+
+    def __init__(self, host: "ShardHost", full_spec: ScenarioSpec,
+                 assignment: dict[int, int], mbx_shard: int,
+                 lookahead: float) -> None:
+        self.host = host
+        self.shard_index = host.shard_index
+        self.mbx_shard = mbx_shard
+        self.assignment = {int(cell): int(shard)
+                           for cell, shard in assignment.items()}
+        self.lookahead = lookahead
+        scenario = host.scenario
+        self.sim = scenario.sim
+        self.core = scenario.core
+        self.core_processing = scenario.core.processing_delay
+        self.boundary = host.boundary
+        # Egress routing tables: destination address -> serving cell, the
+        # mobile UEs resolved against their (dynamic) itineraries.
+        mobility = host.mobility
+        self._itinerary: dict[str, _DynamicItinerary] = {}
+        self._static_cell: dict[str, int] = {}
+        mobile = (potentially_mobile_ues(full_spec)
+                  if mobility is not None else set())
+        for ue in full_spec.resolved_ues():
+            address = ue_ip_address(ue.ue_id)
+            if ue.ue_id in mobile:
+                self._itinerary[address] = mobility.itinerary_of(ue.ue_id)
+            else:
+                self._static_cell[address] = ue.cell_id
+        # Re-cut every *local* sender's forward path at WAN entry (mobile
+        # senders included: the middlebox sits between the WAN pipes and
+        # the core, so it supersedes the _MobileWanPath cut).
+        for flow in full_spec.resolved_flows():
+            sender = scenario.senders.get(flow.flow_id)
+            if sender is None:
+                continue
+            rtt = (flow.wan_rtt if flow.wan_rtt is not None
+                   else full_spec.wan_rtt)
+            sender.path = _MiddleboxWanPath(self, rtt / 2.0)
+        #: Known future arrival times into the host queue (heap).
+        self._pending: list[float] = []
+        self.router: Optional[BottleneckRouter] = None
+        if self.shard_index == mbx_shard:
+            self.router = BottleneckRouter(
+                self.sim, rate=mbps(full_spec.wired_bottleneck_mbps),
+                sink=None, queue_bytes=1_500_000, name="wired-middlebox")
+            # Swap in the completion-tracking link (identical behaviour).
+            self.router.link = _TrackedLink(
+                self.sim, rate=self.router.link.rate,
+                sink=_MiddleboxEgress(self), queue_bytes=1_500_000,
+                name=self.router.link.name)
+            for start_time, rate in full_spec.wired_bottleneck_schedule:
+                self.sim.schedule_at(start_time, self.router.set_rate,
+                                     mbps(rate))
+
+    # ------------------------------------------------------------------ #
+    def send(self, packet: Packet, wan_leg: float) -> None:
+        """WAN entry on the sender's shard: one leg later, the host queue.
+
+        Host-local senders hand off through the boundary too (a
+        self-targeted item): simultaneous arrivals from different shards
+        then share one router-sorted injection order — flow declaration
+        order, the single loop's tie order — instead of local-first.  The
+        stamp is never late: an arrival is one WAN leg (≥ the lookahead)
+        past the sender event that caused it, and no window end ever
+        exceeds the global event floor plus the lookahead.
+        """
+        self.boundary.hand_off(self.sim.now + wan_leg, packet,
+                               self.mbx_shard, "mbx_in")
+
+    def note_arrival(self, when: float) -> None:
+        """Host side: register a known future arrival for :meth:`floor`."""
+        heappush(self._pending, when)
+
+    def ingress(self, packet: Packet) -> None:
+        """Host side: a registered arrival reaches the shared queue."""
+        heappop(self._pending)
+        self.router.receive(packet)
+
+    def egress(self, packet: Packet) -> None:
+        """Output-link completion: route by the serving cell *now*."""
+        address = packet.five_tuple.dst_ip
+        itinerary = self._itinerary.get(address)
+        if itinerary is not None:
+            cell = itinerary.cell_at(self.sim.now)
+        else:
+            cell = self._static_cell[address]
+        target = self.assignment[cell]
+        if target == self.shard_index:
+            self.core.receive(packet)
+        else:
+            packet.stamp("core_ingress", self.sim.now)
+            self.boundary.hand_off(self.sim.now + self.core_processing,
+                                   packet, target, "mbx_core_dl")
+
+    def floor(self) -> Optional[float]:
+        """Earliest possible next egress; None when provably idle.
+
+        The queue emits next either when the in-flight serialisation
+        completes or — if idle — when the earliest known future arrival
+        lands (its serialisation takes longer than zero).  Arrivals *not*
+        yet known to the host are caused by sender events at or after the
+        global event floor and land a full WAN leg later, so they can
+        never undercut the window the synchronizer derives from this.
+        """
+        if self.router is None:
+            return None
+        link = self.router.link
+        earliest: Optional[float] = None
+        if link.next_completion is not None:
+            earliest = link.next_completion
+        elif not link.queue.empty:
+            # Stalled (zero rate): defensively pin the floor to now.
+            # Unreachable through run_scenario_sharded.
+            earliest = self.sim.now
+        if self._pending and (earliest is None
+                              or self._pending[0] < earliest):
+            earliest = self._pending[0]
+        return earliest
 
 
 class ShardHost:
@@ -567,9 +1000,10 @@ class ShardHost:
     of hosts directly, and :func:`_shard_worker` pumps one host over a pipe
     from a worker process — both through the same few methods.
 
-    ``coupling`` (a dict with the full spec, the cell→shard assignment and
-    the lookahead) activates the mobility runtime; sub-specs themselves
-    always carry mobility stripped.
+    ``coupling`` (a dict with the full spec, the cell→shard assignment, the
+    lookahead and the middlebox host shard) activates the mobility and/or
+    shared-middlebox runtimes; sub-specs themselves always carry mobility
+    and the middlebox stripped.
     """
 
     def __init__(self, sub_spec: ScenarioSpec, shard_index: int,
@@ -579,13 +1013,23 @@ class ShardHost:
         self.boundary = _BoundaryBuffer(self.scenario.sim)
         self.scenario.core.remote_sink = self.boundary
         self.mobility: Optional[_ShardMobility] = None
+        self.middlebox: Optional[_SharedMiddlebox] = None
         if coupling is not None:
             full_spec = coupling["full_spec"]
             if isinstance(full_spec, dict):
                 full_spec = ScenarioSpec.from_dict(full_spec)
-            self.mobility = _ShardMobility(self, full_spec,
-                                           coupling["assignment"],
-                                           coupling["lookahead"])
+            if full_spec.mobility.enabled:
+                self.mobility = _ShardMobility(self, full_spec,
+                                               coupling["assignment"],
+                                               coupling["lookahead"])
+            mbx_shard = coupling.get("mbx_shard")
+            if mbx_shard is not None:
+                # After the mobility runtime: the middlebox re-cuts every
+                # sender (mobile ones included) at WAN entry.
+                self.middlebox = _SharedMiddlebox(self, full_spec,
+                                                  coupling["assignment"],
+                                                  mbx_shard,
+                                                  coupling["lookahead"])
         self.windows = 0
         self.boundary_packets = 0
 
@@ -603,9 +1047,17 @@ class ShardHost:
 
     def boundary_idle(self) -> bool:
         """True when this shard provably cannot emit boundary traffic."""
+        if self.middlebox is not None:
+            return False
         if self.mobility is None:
             return True
         return self.mobility.manager.boundary_idle()
+
+    def mbx_floor(self) -> Optional[float]:
+        """Middlebox host only: earliest possible next egress (else None)."""
+        if self.middlebox is None:
+            return None
+        return self.middlebox.floor()
 
     def inject(self, batch: list[tuple]) -> None:
         """Schedule inbound boundary items onto the local loop.
@@ -643,7 +1095,21 @@ class ShardHost:
             elif mode == "ho_transfer":
                 sim.schedule_at(at, self.mobility.manager.apply_transfer,
                                 payload)
-            else:  # pragma: no cover - protocol corruption guard
+            elif mode == "mbx_in":
+                # A remote sender's packet bound for the shared queue:
+                # register the arrival so the window floor sees it.
+                self.middlebox.note_arrival(at)
+                sim.schedule_at(at, self.middlebox.ingress, payload)
+            elif mode == "mbx_core_dl":
+                # Crossed the boundary after middlebox egress: already
+                # core_ingress-stamped, delivery time covers processing.
+                sim.schedule_at(at, core.deliver_downlink, payload)
+            elif mode == "ho_decision":
+                # Adopt immediately: extending the itinerary is safe (and
+                # required) before any routing lookup at or past the
+                # commit time — the commit lag guarantees none happened.
+                self.mobility.adopt_decision(payload)
+            else:
                 raise ValueError(f"unknown boundary item mode {mode!r}")
 
     def finish(self) -> ShardResult:
@@ -700,11 +1166,20 @@ class _BoundaryRouter:
     flow_to_shard: dict[int, int]
     lookahead: float
     num_shards: int
+    #: flow_id -> declaration index; simultaneous middlebox arrivals inject
+    #: in this order (the single loop's tie order for the initial bursts).
+    flow_order: dict[int, int] = field(default_factory=dict)
     routed_packets: int = 0
     dropped_packets: int = 0
     #: Earliest delivery time among the items routed by the last
     #: :meth:`route` call (the adaptive window floor), or None.
     last_min_deliver: Optional[float] = None
+    #: Same, but per destination shard (the middlebox floor combines the
+    #: host's report with what this barrier just routed at it).
+    min_deliver_by_target: list = field(default_factory=list)
+    #: Commit times of handover decisions routed since the last
+    #: :meth:`drain_commits` — the synchronizer pins a barrier on each.
+    pending_commits: list = field(default_factory=list)
 
     #: True when two shards could ever owe each other a packet: a mobile
     #: UE whose itinerary leaves its home shard, or (defensively) an
@@ -745,10 +1220,13 @@ class _BoundaryRouter:
                 # registration wins, like the single core's routing table.
                 ip_to_shard[address] = shard
                 ip_conflict = True
-        for flow in spec.resolved_flows():
+        flow_order = {}
+        for index, flow in enumerate(spec.resolved_flows()):
             flow_to_shard[flow.flow_id] = plan.assignment[ue_cell[flow.ue_id]]
+            flow_order[flow.flow_id] = index
         return cls(ip_to_shard=ip_to_shard, flow_to_shard=flow_to_shard,
                    lookahead=plan.lookahead, num_shards=plan.num_shards,
+                   flow_order=flow_order,
                    boundary_required=ip_conflict or mobility_coupled,
                    ip_conflict=ip_conflict)
 
@@ -756,14 +1234,25 @@ class _BoundaryRouter:
         """Turn per-shard outbound batches into per-shard inbound batches."""
         inbound: list[list[tuple]] = [[] for _ in range(self.num_shards)]
         min_deliver: Optional[float] = None
+        per_target: list[Optional[float]] = [None] * self.num_shards
         for source, batch in enumerate(outputs):
             for item in batch:
                 if len(item) > 2:
-                    # Pre-routed by the mobility runtime: exact delivery
-                    # time and destination shard travel with the item.
+                    # Pre-routed by a coupling runtime: exact delivery time
+                    # and destination shard travel with the item.
                     deliver_at, payload, mode, target = item
                     self.routed_packets += 1
-                    inbound[target].append((deliver_at, payload, mode))
+                    if target == _BROADCAST:
+                        # An SNR handover decision: every other shard
+                        # adopts it, and the synchronizer pins a barrier
+                        # at its commit time.
+                        self.pending_commits.append(deliver_at)
+                        targets = [shard for shard in range(self.num_shards)
+                                   if shard != source]
+                    else:
+                        targets = [target]
+                    for shard in targets:
+                        inbound[shard].append((deliver_at, payload, mode))
                 else:
                     handoff, packet = item
                     target = self.ip_to_shard.get(packet.five_tuple.dst_ip)
@@ -786,10 +1275,33 @@ class _BoundaryRouter:
                     self.routed_packets += 1
                     deliver_at = handoff + self.lookahead
                     inbound[target].append((deliver_at, packet))
+                    targets = [target]
+                for shard in targets:
+                    if (per_target[shard] is None
+                            or deliver_at < per_target[shard]):
+                        per_target[shard] = deliver_at
                 if min_deliver is None or deliver_at < min_deliver:
                     min_deliver = deliver_at
+        for batch in inbound:
+            # Stable sort: simultaneous deliveries inject in a fixed order
+            # regardless of how cells were assigned to shards.  Tied
+            # middlebox arrivals take flow declaration order — the single
+            # loop's scheduling order for simultaneous flow starts; other
+            # ties keep the source-shard order.
+            batch.sort(key=self._sort_key)
         self.last_min_deliver = min_deliver
+        self.min_deliver_by_target = per_target
         return inbound
+
+    def _sort_key(self, entry: tuple) -> tuple:
+        if len(entry) > 2 and entry[2] == "mbx_in":
+            return (entry[0], 1, self.flow_order.get(entry[1].flow_id, -1))
+        return (entry[0], 0, -1)
+
+    def drain_commits(self) -> list[float]:
+        """Take (and clear) commit times routed since the last barrier."""
+        commits, self.pending_commits = self.pending_commits, []
+        return commits
 
 
 # --------------------------------------------------------------------- #
@@ -819,9 +1331,7 @@ def merge_shard_results(config: ScenarioSpec, plan: ShardPlan,
     results = sorted(results, key=lambda r: r.shard_index)
     flows_by_id = {flow.flow_id: flow for r in results for flow in r.flows}
     resolved_flows = config.resolved_flows()
-    mobile_ues: set[int] = set()
-    if config.mobility.enabled:
-        mobile_ues = mobility_topology(config).mobile_ue_ids()
+    mobile_ues = potentially_mobile_ues(config)
     # A mobile flow leaves flow records behind in every cell (shard) it
     # visited; sum the per-shard mark counts so its merged marked_fraction
     # covers them all, exactly like the single loop's cross-cell merge.
@@ -941,6 +1451,24 @@ def merge_shard_results(config: ScenarioSpec, plan: ShardPlan,
 # --------------------------------------------------------------------- #
 # Synchronizers
 # --------------------------------------------------------------------- #
+def _combined_mbx_floor(sync: _SyncPlan, floors: list[Optional[float]],
+                        router: _BoundaryRouter) -> Optional[float]:
+    """The middlebox host's earliest possible egress, coordinator view.
+
+    The host reports its floor *before* this barrier's inbound batch is
+    injected, so arrivals the barrier just routed at it are folded in here
+    (the per-target minimum is conservative — it may include non-arrival
+    items, which only tightens the window).
+    """
+    if sync.mbx_shard is None:
+        return None
+    candidates = [floors[sync.mbx_shard]]
+    if router.min_deliver_by_target:
+        candidates.append(router.min_deliver_by_target[sync.mbx_shard])
+    known = [value for value in candidates if value is not None]
+    return min(known) if known else None
+
+
 def _run_hosts_inprocess(hosts: list[ShardHost], router: _BoundaryRouter,
                          sync: _SyncPlan) -> list[ShardResult]:
     """Drive all shard hosts in one process, window by window.
@@ -955,12 +1483,17 @@ def _run_hosts_inprocess(hosts: list[ShardHost], router: _BoundaryRouter,
         outputs = [host.advance(window_end) for host in hosts]
         peeks = [host.peek() for host in hosts]
         all_idle = all(host.boundary_idle() for host in hosts)
-        for host, batch in zip(hosts, router.route(outputs)):
+        floors = [host.mbx_floor() for host in hosts]
+        inbound = router.route(outputs)
+        for when in router.drain_commits():
+            sync.add_commit_point(when)
+        for host, batch in zip(hosts, inbound):
             host.inject(batch)
         if window_end >= sync.horizon - 1e-12:
             break
-        window_end = sync.next_window(window_end, peeks,
-                                      router.last_min_deliver, all_idle)
+        window_end = sync.next_window(
+            window_end, peeks, router.last_min_deliver, all_idle,
+            mbx_floor=_combined_mbx_floor(sync, floors, router))
     return [host.finish() for host in hosts]
 
 
@@ -969,11 +1502,11 @@ def _shard_worker(conn, payload: dict) -> None:
 
     Protocol, in lock-step with the coordinator: the worker advances to the
     current window end and sends ``("window", (outbound_batch, peek_time,
-    boundary_idle))``, then blocks for ``("proceed", (inbound_batch,
-    next_window_end))`` — the coordinator owns the (possibly adaptive)
-    window clock.  After the horizon window it sends ``("result",
-    ShardResult)``.  Any exception is shipped back as ``("error",
-    traceback_text)`` instead of dying silently.
+    boundary_idle, mbx_floor))``, then blocks for ``("proceed",
+    (inbound_batch, next_window_end))`` — the coordinator owns the
+    (possibly adaptive) window clock.  After the horizon window it sends
+    ``("result", ShardResult)``.  Any exception is shipped back as
+    ``("error", traceback_text)`` instead of dying silently.
     """
     try:
         spec = ScenarioSpec.from_dict(payload["spec"])
@@ -983,7 +1516,8 @@ def _shard_worker(conn, payload: dict) -> None:
         horizon = payload["horizon"]
         while True:
             batch = host.advance(window_end)
-            conn.send(("window", (batch, host.peek(), host.boundary_idle())))
+            conn.send(("window", (batch, host.peek(), host.boundary_idle(),
+                                  host.mbx_floor())))
             _kind, (inbound, next_window) = conn.recv()
             host.inject(inbound)
             if window_end >= horizon - 1e-12:
@@ -1050,18 +1584,23 @@ def _run_workers(sub_specs: list[ScenarioSpec], router: _BoundaryRouter,
         window_end = first_window
         while True:
             sync.windows += 1
-            outputs, peeks, idles = [], [], []
+            outputs, peeks, idles, floors = [], [], [], []
             for shard, conn in enumerate(pipes):
-                _kind, (batch, peek, idle) = _recv(conn, shard)
+                _kind, (batch, peek, idle, floor) = _recv(conn, shard)
                 outputs.append(batch)
                 peeks.append(peek)
                 idles.append(idle)
+                floors.append(floor)
             inbound = router.route(outputs)
+            for when in router.drain_commits():
+                sync.add_commit_point(when)
             done = window_end >= sync.horizon - 1e-12
             next_window = (window_end if done else
-                           sync.next_window(window_end, peeks,
-                                            router.last_min_deliver,
-                                            all(idles)))
+                           sync.next_window(
+                               window_end, peeks, router.last_min_deliver,
+                               all(idles),
+                               mbx_floor=_combined_mbx_floor(sync, floors,
+                                                             router)))
             for conn, batch in zip(pipes, inbound):
                 conn.send(("proceed", (batch, next_window)))
             if done:
@@ -1091,12 +1630,15 @@ def run_scenario_sharded(config: ScenarioSpec, shards: Optional[int] = None,
                          ) -> ScenarioResult:
     """Run ``config`` with cells sharded across processes; merged result.
 
-    Falls back transparently: unshardable specs (single cell, wired
-    middlebox, SNR mobility) run on the classic single loop; platforms that
-    cannot host worker processes use the in-process synchronizer (identical
-    results — only wall-clock differs).  ``shards`` overrides the spec's
-    worker count and ``adaptive`` the spec's ``sharding.adaptive_windows``
-    (the fixed-cadence baseline is ``adaptive=False``).
+    Falls back with a warning naming the blockers: the few specs a split
+    cannot reproduce byte-for-byte (single cell, wrapped address space,
+    zero-rate middlebox schedule, too-small SNR commit lag) run on the
+    classic single loop, and the result's ``sharding_stats`` records why.
+    Platforms that cannot host worker processes use the in-process
+    synchronizer (identical results — only wall-clock differs).  ``shards``
+    overrides the spec's worker count and ``adaptive`` the spec's
+    ``sharding.adaptive_windows`` (the fixed-cadence baseline is
+    ``adaptive=False``).
     """
     config.validate()
     blockers = sharding_blockers(config)
@@ -1104,25 +1646,42 @@ def run_scenario_sharded(config: ScenarioSpec, shards: Optional[int] = None,
         if config.sharding.mode == "explicit":
             raise ShardPlanError("spec cannot be sharded: "
                                  + "; ".join(blockers))
+        warnings.warn(
+            "spec cannot be sharded (" + "; ".join(blockers) + "); "
+            "running on the single event loop instead",
+            RuntimeWarning, stacklevel=2)
         unsharded = dataclasses.replace(config,
                                         sharding=ShardingSpec(mode="off"))
-        return build_scenario(unsharded).run()
+        result = build_scenario(unsharded).run()
+        result.sharding_stats = {"fallback": "single-loop",
+                                 "blockers": list(blockers)}
+        return result
     plan = build_shard_plan(config, shards=shards)
     if plan.num_shards <= 1:
         unsharded = dataclasses.replace(config,
                                         sharding=ShardingSpec(mode="off"))
         return build_scenario(unsharded).run()
     sub_specs = split_spec(config, plan)
+    mbx_shard: Optional[int] = None
+    if config.wired_bottleneck_mbps is not None:
+        # Host the shared queue with the scenario's first cell.
+        mbx_shard = plan.assignment[config.resolved_cells()[0].cell_id]
+    snr_coupled = config.mobility.enabled and config.mobility.mode == "snr"
+    always_coupled = snr_coupled or mbx_shard is not None
     coupling_payload = None
     coupling_intervals: list[tuple[float, float]] = []
+    commit_points: list[float] = []
     if config.mobility.enabled:
         coupling_intervals = mobility_coupling_intervals(config, plan)
+        commit_points = schedule_commit_points(config, plan)
+    if config.mobility.enabled or mbx_shard is not None:
         coupling_payload = {"full_spec": config.to_dict(),
                             "assignment": plan.assignment,
-                            "lookahead": plan.lookahead}
+                            "lookahead": plan.lookahead,
+                            "mbx_shard": mbx_shard}
     router = _BoundaryRouter.for_plan(
         config, plan, ue_ip=ue_ip_address,
-        mobility_coupled=bool(coupling_intervals))
+        mobility_coupled=bool(coupling_intervals) or always_coupled)
     if adaptive is None:
         adaptive = config.sharding.adaptive_windows
     # Address-alias coupling (defensive-only today) has no schedule the
@@ -1130,7 +1689,10 @@ def run_scenario_sharded(config: ScenarioSpec, shards: Optional[int] = None,
     sync = _SyncPlan(horizon=config.duration_s, lookahead=plan.lookahead,
                      boundary_required=router.boundary_required,
                      adaptive=adaptive and not router.ip_conflict,
-                     coupling=coupling_intervals)
+                     coupling=coupling_intervals,
+                     commit_points=commit_points,
+                     always_coupled=always_coupled,
+                     mbx_shard=mbx_shard)
     if inprocess is None:
         inprocess = bool(os.environ.get(INPROCESS_ENV))
     results = None
@@ -1180,8 +1742,10 @@ __all__ = [
     "build_shard_plan",
     "merge_shard_results",
     "mobility_coupling_intervals",
+    "potentially_mobile_ues",
     "run_scenario_sharded",
     "run_scenario_dict_sharded",
+    "schedule_commit_points",
     "sharding_blockers",
     "split_spec",
     "window_schedule",

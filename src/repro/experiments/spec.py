@@ -158,7 +158,8 @@ class MobilitySpec:
         mode: ``"off"`` (no mobility), ``"schedule"`` (handovers listed in
             ``handovers`` execute at fixed times) or ``"snr"`` (a periodic
             monitor hands a degraded UE over to the next cell in declaration
-            order; decided mid-run, so SNR mobility cannot be sharded).
+            order; decided mid-run and committed ``commit_lag_s`` later, the
+            two-phase protocol that keeps SNR mobility shardable).
         handovers: the schedule for ``"schedule"`` mode.
         interruption_s: detach-to-service gap: the target cell buffers
             arriving downlink data but grants the UE no air time until
@@ -172,6 +173,13 @@ class MobilitySpec:
             UE stays attached before it may move again (ping-pong damping;
             clamped to at least ``interruption_s``).
         ues: UEs the ``"snr"`` monitor watches (empty = every UE).
+        commit_lag_s: decide-to-commit delay of an SNR-triggered handover
+            (the two-phase protocol publishes the decision at the monitor
+            tick and every event loop commits it ``commit_lag_s`` later), or
+            None for the computed safe default — one conservative lookahead
+            plus the longest WAN one-way leg plus the core processing delay.
+            Values below that minimum cannot be reproduced exactly by a
+            shard split and block sharding.
     """
 
     mode: str = "off"
@@ -182,6 +190,7 @@ class MobilitySpec:
     snr_threshold_db: float = 10.0
     min_stay_s: float = 0.5
     ues: list[int] = field(default_factory=list)
+    commit_lag_s: Optional[float] = None
 
     @property
     def enabled(self) -> bool:
@@ -203,6 +212,12 @@ class MobilitySpec:
         if self.mode == "snr":
             if self.check_interval_s <= 0:
                 raise ValueError("mobility.check_interval_s must be positive")
+            if self.handovers:
+                raise ValueError("mobility.handovers requires mode "
+                                 "'schedule'; the 'snr' monitor decides its "
+                                 "own handovers")
+        if self.commit_lag_s is not None and self.commit_lag_s <= 0:
+            raise ValueError("mobility.commit_lag_s must be positive")
         for ho in self.handovers:
             if ho.time <= 0:
                 raise ValueError(

@@ -23,11 +23,17 @@ from repro.ran.identifiers import UeId
 from repro.sim.engine import Simulator
 from repro.units import us
 
+#: GTP-U encapsulation/processing latency of the core, shared with the
+#: sharded runtime (the conservative window bound of a shared middlebox's
+#: egress→remote-core hop is exactly this constant).
+CORE_PROCESSING_DELAY = us(150)
+
 
 class FiveGCore:
     """UPF-style router between the WAN and one or more gNBs."""
 
-    def __init__(self, sim: Simulator, processing_delay: float = us(150),
+    def __init__(self, sim: Simulator,
+                 processing_delay: float = CORE_PROCESSING_DELAY,
                  name: str = "5gc") -> None:
         self._sim = sim
         self.name = name
@@ -81,6 +87,23 @@ class FiveGCore:
         packet.stamp("core_ingress", self._sim.now)
         self._sim.schedule(self.processing_delay, gnb.receive_downlink,
                            packet, ue_id)
+
+    def deliver_downlink(self, packet: Packet) -> None:
+        """Hand an already-processed downlink packet to its serving gNB.
+
+        The sharded runtime's shared-middlebox path uses this for packets
+        that crossed the shard boundary *after* core ingress: the packet is
+        pre-stamped (``core_ingress`` at the middlebox egress time) and the
+        boundary delivery already accounts for :attr:`processing_delay`, so
+        this routes and forwards immediately instead of re-delaying.
+        """
+        route = self._downlink_routes.get(packet.five_tuple.dst_ip)
+        if route is None:
+            raise KeyError(
+                f"no UE registered for {packet.five_tuple.dst_ip}")
+        gnb, ue_id = route
+        self.downlink_packets += 1
+        gnb.receive_downlink(packet, ue_id)
 
     def receive_uplink(self, packet: Packet) -> None:
         """Uplink entry point (the gNB's CU feeds packets here)."""

@@ -86,6 +86,33 @@ class HandoverTransfer:
     forwarded: list[tuple[int, Packet]] = field(default_factory=list)
 
 
+@dataclass(frozen=True)
+class HandoverDecision:
+    """Phase one of an SNR-triggered handover: decided, not yet executed.
+
+    The serving loop's monitor *decides* at ``decided_at`` and every event
+    loop (the decider included) *commits* — runs the actual transition — at
+    ``commit_at = decided_at + commit_lag``.  Picklable: in a sharded run
+    this is the broadcast control message published at the decision
+    window's barrier, and the commit lag is sized so it always reaches
+    every shard (and every in-flight routing lookup has resolved) strictly
+    before the commit time.
+    """
+
+    ue_id: int
+    from_cell: int
+    to_cell: int
+    decided_at: float
+    commit_at: float
+    attach_index: int
+
+    def transition(self) -> Transition:
+        """The resolved transition this decision commits to."""
+        return Transition(time=self.commit_at, ue_id=self.ue_id,
+                          from_cell=self.from_cell, to_cell=self.to_cell,
+                          attach_index=self.attach_index)
+
+
 @dataclass
 class MobilityTopology:
     """The full-scenario view the manager needs, as plain data.
@@ -182,12 +209,21 @@ class MobilityManager:
             ``(transfer, target_cell) -> None``; None applies locally.
         visiting_ues: UEs whose *home* shard is elsewhere -- tracked for
             the synchronizer's boundary-drained report.
+        commit_lag: decide-to-commit delay of SNR-triggered handovers (the
+            two-phase protocol; see :class:`HandoverDecision`).  The single
+            loop and every shard must use the same value for a sharded run
+            to be bit-identical.
+        decision_out: cross-shard decision broadcast
+            ``(decision) -> None`` invoked at decide time; None on the
+            single loop (nobody else needs to hear about it).
     """
 
     def __init__(self, scenario, topology: MobilityTopology, config,
                  local_cells: Optional[set[int]] = None,
                  transfer_out: Optional[Callable] = None,
-                 visiting_ues: Optional[set[int]] = None) -> None:
+                 visiting_ues: Optional[set[int]] = None,
+                 commit_lag: float = 0.0,
+                 decision_out: Optional[Callable] = None) -> None:
         self._scenario = scenario
         self._sim: Simulator = scenario.sim
         self.topology = topology
@@ -197,6 +233,8 @@ class MobilityManager:
         self._visiting_ues = visiting_ues or set()
         self._interruption = config.interruption_s
         self._forward = config.ho_mode == "forward"
+        self._commit_lag = commit_lag
+        self._decision_out = decision_out
         #: ue_id -> (attach_index, cell_id, gnb, UeContext) of the current
         #: *local* attachment; absent while the UE is served elsewhere.
         self._attached: dict[int, tuple[int, int, object, object]] = {}
@@ -204,6 +242,11 @@ class MobilityManager:
         self._visitor_ctxs: list = []
         self._records: dict[tuple[int, float], dict] = {}
         self._last_ho: dict[int, float] = {}
+        #: UEs with a decided-but-not-yet-committed handover (the decider's
+        #: re-trigger guard) and the (ue, commit_at) keys already adopted
+        #: (the broadcast dedup).
+        self._pending_commits: set[int] = set()
+        self._adopted: set[tuple[int, float]] = set()
         self._snr_process: Optional[PeriodicProcess] = None
         self._install()
 
@@ -340,9 +383,17 @@ class MobilityManager:
             cu.resubmit_downlink(transfer.ue_id, drb_id, packet)
 
     # ------------------------------------------------------------------ #
-    # SNR-triggered mobility (single event loop only)
+    # SNR-triggered mobility: two-phase decide-then-commit
     # ------------------------------------------------------------------ #
     def _snr_check(self) -> None:
+        """Phase one: the serving loop's monitor *decides* handovers.
+
+        A decision never executes inline — it is committed ``commit_lag``
+        later by :meth:`_commit_decision`, on this loop and (via
+        ``decision_out`` → :meth:`adopt_decision`) on every other shard,
+        all at the same simulation time.  The single loop follows the
+        identical timeline so a sharded run is bit-identical.
+        """
         config = self.config
         min_stay = max(config.min_stay_s, self._interruption)
         now = self._sim.now
@@ -350,6 +401,8 @@ class MobilityManager:
         for ue_id in watched:
             entry = self._attached.get(ue_id)
             if entry is None:
+                continue
+            if ue_id in self._pending_commits:
                 continue
             if now - self._last_ho.get(ue_id, 0.0) < min_stay:
                 continue
@@ -360,9 +413,43 @@ class MobilityManager:
             target = cells[(cells.index(current_cell) + 1) % len(cells)]
             if target == current_cell:
                 continue
-            self._execute_transition(Transition(
-                time=now, ue_id=ue_id, from_cell=current_cell,
-                to_cell=target, attach_index=attach_index + 1))
+            decision = HandoverDecision(
+                ue_id=ue_id, from_cell=current_cell, to_cell=target,
+                decided_at=now, commit_at=now + self._commit_lag,
+                attach_index=attach_index + 1)
+            self._decide(decision)
+
+    def _decide(self, decision: HandoverDecision) -> None:
+        self._pending_commits.add(decision.ue_id)
+        self._adopted.add((decision.ue_id, decision.commit_at))
+        self._merge_record(decision.transition(),
+                           {"decided_at": decision.decided_at})
+        self._sim.schedule_at(decision.commit_at, self._commit_decision,
+                              decision)
+        if self._decision_out is not None:
+            self._decision_out(decision)
+
+    def _commit_decision(self, decision: HandoverDecision) -> None:
+        """Phase two: the barrier-synchronized commit of a decision."""
+        self._pending_commits.discard(decision.ue_id)
+        self._execute_transition(decision.transition())
+
+    def adopt_decision(self, decision: HandoverDecision) -> None:
+        """Adopt a decision broadcast by another shard's monitor.
+
+        Deduplicates (a barrier can replay a broadcast to a shard that
+        already decided it) and schedules the local commit halves at the
+        decision's commit time; shards with no local half only track the
+        UE's handover time for their own monitor's min-stay damping.
+        """
+        key = (decision.ue_id, decision.commit_at)
+        if key in self._adopted:
+            return
+        self._adopted.add(key)
+        if self._is_local(decision.from_cell) or self._is_local(decision.to_cell):
+            self._pending_commits.add(decision.ue_id)
+            self._sim.schedule_at(decision.commit_at, self._commit_decision,
+                                  decision)
 
     # ------------------------------------------------------------------ #
     # Reporting

@@ -25,9 +25,10 @@ from repro.experiments.sharded import (boundary_lookahead,
                                        build_shard_plan,
                                        mobility_coupling_intervals,
                                        run_scenario_sharded,
+                                       schedule_commit_points,
                                        sharding_blockers)
 from repro.experiments.spec import (CellSpec, HandoverSpec, MobilitySpec,
-                                    ScenarioSpec, UeSpec)
+                                    ScenarioSpec, ShardingSpec, UeSpec)
 from repro.ran.phy import AirInterfaceConfig
 from repro.units import ms
 from repro.workloads.flows import FlowSpec
@@ -372,24 +373,55 @@ class TestShardedMobility:
         assert len(single.handovers) == 4
         assert _results_equal(single, sharded)
 
-    def test_snr_mobility_blocks_sharding_and_falls_back(self):
+    def test_snr_mobility_shards_bit_identically(self):
+        """Decide-then-commit: SNR handovers (decided mid-run) no longer
+        block sharding, and the decisions, commits and per-flow metrics
+        match the single loop exactly."""
+        spec = ScenarioSpec(
+            num_ues=0, duration_s=2.0, channel_profile="static", seed=7,
+            cells=[CellSpec(cell_id=0), CellSpec(cell_id=1)],
+            ues=[UeSpec(ue_id=0, cell_id=0, mean_snr_db=5.0),
+                 UeSpec(ue_id=1, cell_id=1)],
+            mobility=MobilitySpec(mode="snr", snr_threshold_db=10.0,
+                                  min_stay_s=0.5))
+        assert sharding_blockers(spec) == []
+        single = run_scenario(
+            dataclasses.replace(spec, sharding=ShardingSpec(mode="off")))
+        sharded = run_scenario_sharded(spec, shards=2, inprocess=True)
+        assert single.handovers, "the low-SNR UE must actually move"
+        assert single.handovers == sharded.handovers
+        assert _results_equal(single, sharded)
+
+    def test_undersized_snr_commit_lag_blocks_sharding(self):
+        """An explicit commit lag below one lookahead + the longest WAN leg
+        cannot reach every shard before the commit time; the split refuses
+        (the single loop honours any positive lag)."""
         spec = ScenarioSpec(
             num_ues=0, duration_s=1.0, channel_profile="static", seed=7,
             cells=[CellSpec(cell_id=0), CellSpec(cell_id=1)],
             ues=[UeSpec(ue_id=0, cell_id=0, mean_snr_db=5.0),
                  UeSpec(ue_id=1, cell_id=1)],
-            mobility=MobilitySpec(mode="snr"))
-        assert any("snr" in reason for reason in sharding_blockers(spec))
-        result = run_scenario_sharded(spec, shards=2, inprocess=True)
-        assert len(result.flows) == 2  # fell back to the single loop
+            mobility=MobilitySpec(mode="snr", commit_lag_s=0.001))
+        assert any("commit_lag_s" in reason
+                   for reason in sharding_blockers(spec))
+        with pytest.warns(RuntimeWarning, match="commit_lag_s"):
+            result = run_scenario_sharded(spec, shards=2, inprocess=True)
+        assert result.sharding_stats["fallback"] == "single-loop"
 
-    def test_short_interruption_blocks_sharding(self):
+    def test_short_interruption_shards_via_commit_points(self):
+        """Interruption < lookahead pins a barrier at each cross-shard
+        handover time; the transfer crosses with a same-instant stamp and
+        the run stays exact."""
         spec = _ping_pong(interruption=0.005)
         assert boundary_lookahead(spec) > 0.005
-        assert any("interruption" in reason
-                   for reason in sharding_blockers(spec))
-        result = run_scenario_sharded(spec, shards=2, inprocess=True)
-        assert len(result.handovers) == 2  # single-loop fallback still moves
+        assert sharding_blockers(spec) == []
+        assert schedule_commit_points(
+            spec.validate(), build_shard_plan(spec, shards=2)) == \
+            pytest.approx([1.0, 2.0])
+        single = run_scenario(spec)
+        sharded = run_scenario_sharded(spec, shards=2, inprocess=True)
+        assert len(sharded.handovers) == 2
+        assert _results_equal(single, sharded)
 
     def test_handover_preset_sharded_matches_single(self):
         spec = dataclasses.replace(make_preset("handover"), duration_s=2.5)

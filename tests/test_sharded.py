@@ -89,14 +89,35 @@ class TestShardPlanning:
             FlowSpec(flow_id=1, ue_id=1, cc_name="prague")])
         assert boundary_lookahead(spec) == pytest.approx(ms(9))
 
-    def test_wired_bottleneck_blocks_sharding(self):
-        spec = dataclasses.replace(_two_cell_static(),
+    def test_wired_bottleneck_shards_bit_identically(self):
+        """The coupled-topology protocol: a shared middlebox no longer
+        blocks sharding — the queue is hosted on one shard and every flow
+        crosses it, yet per-flow metrics match the single loop exactly."""
+        spec = dataclasses.replace(_two_cell_static(duration=1.0),
                                    wired_bottleneck_mbps=20.0)
-        assert any("middlebox" in reason
+        assert sharding_blockers(spec) == []
+        single = run_scenario(
+            dataclasses.replace(spec, sharding=ShardingSpec(mode="off")))
+        sharded = run_scenario_sharded(spec, shards=2, inprocess=True)
+        assert all(_flows_equal(a, b)
+                   for a, b in zip(single.flows, sharded.flows))
+        assert sharded.sharding_stats["boundary_required"]
+        assert sharded.sharding_stats["shards"] == 2
+
+    def test_zero_rate_middlebox_schedule_blocks_sharding(self):
+        """A zero-rate interval stalls the queue with no bounding event;
+        the synchronizer cannot floor a window under it, so it refuses."""
+        spec = dataclasses.replace(_two_cell_static(),
+                                   wired_bottleneck_mbps=20.0,
+                                   wired_bottleneck_schedule=[(0.5, 0.0),
+                                                              (0.8, 20.0)])
+        assert any("zero rate" in reason
                    for reason in sharding_blockers(spec))
-        # auto mode falls back to the single loop instead of failing
-        result = run_scenario_sharded(spec, shards=2, inprocess=True)
+        # auto mode falls back to the single loop, loudly
+        with pytest.warns(RuntimeWarning, match="zero rate"):
+            result = run_scenario_sharded(spec, shards=2, inprocess=True)
         assert len(result.flows) == 4
+        assert result.sharding_stats["fallback"] == "single-loop"
         with pytest.raises(ShardPlanError):
             run_scenario_sharded(
                 dataclasses.replace(
@@ -308,6 +329,26 @@ class TestBoundaryExchange:
             seq=0, payload=1200, ecn=ECN.ECT1, now=0.0)
         with pytest.raises(ConservativeSyncError):
             host.inject([(0.01, stray)])
+
+    def test_late_pre_routed_item_raises_too(self):
+        """The guard covers pre-routed (mode-tagged) items, not just the
+        legacy table-routed pairs."""
+        host = self._host(ue_id=0, shard=0)
+        host.advance(0.04)
+        stray = make_data_packet(
+            flow_id=0, five_tuple=FiveTuple(
+                src_ip="10.0.0.1", src_port=443,
+                dst_ip=ue_ip_address(0), dst_port=50_000, protocol="tcp"),
+            seq=0, payload=1200, ecn=ECN.ECT1, now=0.0)
+        with pytest.raises(ConservativeSyncError):
+            host.inject([(0.02, stray, "core_dl")])
+
+    def test_unknown_boundary_item_mode_raises(self):
+        """Protocol corruption (an unrecognised mode tag) must fail fast,
+        not silently drop the payload."""
+        host = self._host(ue_id=0, shard=0)
+        with pytest.raises(ValueError, match="unknown boundary item mode"):
+            host.inject([(0.5, object(), "warp_drive")])
 
 
 # --------------------------------------------------------------------- #
