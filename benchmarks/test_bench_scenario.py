@@ -22,18 +22,18 @@ import pytest
 
 from benchmarks.conftest import attach_rows, scaled_duration
 from repro._numpy import numpy_available
-from repro.experiments.presets import make_preset
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.api import ScenarioSpec, make_preset, run as run_scenario
 from repro.experiments.sharded import run_scenario_sharded
 
 
-def _prague_config(duration: float) -> ScenarioConfig:
+def _prague_config(duration: float) -> ScenarioSpec:
     """The ROADMAP perf-baseline scenario: 2 Prague UEs, fading channel."""
-    return ScenarioConfig(duration_s=duration, seed=7, num_ues=2,
-                          cc_name="prague", channel_profile="pedestrian")
+    return ScenarioSpec(duration_s=duration, seed=7, num_ues=2,
+                        cc_name="prague",
+                        channel_profile="pedestrian")
 
 
-def _with_engine(spec: ScenarioConfig, backend: str) -> ScenarioConfig:
+def _with_engine(spec: ScenarioSpec, backend: str) -> ScenarioSpec:
     """The same scenario on the named engine backend."""
     return dataclasses.replace(
         spec, engine=dataclasses.replace(spec.engine, backend=backend))
@@ -50,13 +50,14 @@ def _best_of(runner, repeats: int = 3) -> tuple[float, object]:
     return best, result
 
 
-def _mixed_config(duration: float) -> ScenarioConfig:
+def _mixed_config(duration: float) -> ScenarioSpec:
     """A classic-CC contrast point on a static channel."""
-    return ScenarioConfig(duration_s=duration, seed=3, num_ues=2,
-                          cc_name="cubic", channel_profile="static")
+    return ScenarioSpec(duration_s=duration, seed=3, num_ues=2,
+                        cc_name="cubic",
+                        channel_profile="static")
 
 
-def _subsystem_breakdown(config: ScenarioConfig) -> dict[str, float]:
+def _subsystem_breakdown(config: ScenarioSpec) -> dict[str, float]:
     """Profile one run and group profiler self-time by repro subpackage."""
     profile = cProfile.Profile()
     profile.enable()
@@ -235,7 +236,7 @@ def test_scenario_dense_cell_population(benchmark):
     kernel.  The acceptance floor for the kernel is a 100x
     throughput-of-simulation gain over simulating every UE exactly.
     """
-    reference = ScenarioConfig(duration_s=scaled_duration(1.0), seed=7,
+    reference = ScenarioSpec(duration_s=scaled_duration(1.0), seed=7,
                                num_ues=8, cc_name="cubic",
                                channel_profile="static")
     start = time.perf_counter()

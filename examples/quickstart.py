@@ -12,17 +12,17 @@ Run with::
 
 from __future__ import annotations
 
-from repro.experiments import ScenarioConfig, run_scenario
+import repro.api as api
 from repro.experiments.report import format_table
 
 
 def main() -> None:
     rows = []
     for marker in ("none", "l4span"):
-        config = ScenarioConfig(num_ues=1, duration_s=6.0, cc_name="prague",
-                                marker=marker, channel_profile="static",
-                                seed=1)
-        result = run_scenario(config)
+        config = api.ScenarioSpec(num_ues=1, duration_s=6.0,
+                                  cc_name="prague", marker=marker,
+                                  channel_profile="static", seed=1)
+        result = api.run(config)
         summary = result.summary()
         rows.append({
             "ran": "plain 5G" if marker == "none" else "5G + L4Span",

@@ -35,6 +35,14 @@ DEFAULT_STORAGE = REPO_ROOT / ".benchmarks"
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baseline.json"
 WARN_ONLY_ENV = "REPRO_BENCH_WARN_ONLY"
 
+#: Version stamped into baselines written by ``--update``; bump when the
+#: baseline layout changes so older checkouts reject newer files loudly
+#: instead of mis-reading them.
+BASELINE_SCHEMA_VERSION = 1
+
+#: Baseline schema versions this script knows how to read.
+SUPPORTED_BASELINE_VERSIONS = (1,)
+
 #: extra_info keys treated as throughput metrics (higher is better).
 RATE_KEYS = ("events_per_sec_best", "packets_per_sec_best",
              "ue_seconds_per_sec_best", "events_per_sec_numpy")
@@ -140,7 +148,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.update:
         args.baseline.parent.mkdir(parents=True, exist_ok=True)
         args.baseline.write_text(json.dumps(
-            {"threshold": args.threshold,
+            {"schema_version": BASELINE_SCHEMA_VERSION,
+             "threshold": args.threshold,
              "source_run": run_file.name,
              "metrics": {k: round(v, 2) for k, v in sorted(current.items())}},
             indent=2) + "\n")
@@ -157,6 +166,19 @@ def main(argv: list[str] | None = None) -> int:
     except json.JSONDecodeError as error:
         print(f"baseline {args.baseline} is not valid JSON ({error}); "
               "refresh it with --update", file=sys.stderr)
+        return 2
+    version = baseline_doc.get("schema_version")
+    if version is None:
+        print(f"baseline {args.baseline} has no 'schema_version' field; it "
+              "predates the versioned baseline layout — refresh it with "
+              "'python scripts/bench_compare.py --update'", file=sys.stderr)
+        return 2
+    if version not in SUPPORTED_BASELINE_VERSIONS:
+        supported = ", ".join(str(v) for v in SUPPORTED_BASELINE_VERSIONS)
+        print(f"baseline {args.baseline} has schema_version {version!r}, but "
+              f"this checkout only understands: {supported}. Update the "
+              "checkout to read newer baselines, or regenerate the baseline "
+              "here with --update", file=sys.stderr)
         return 2
     baseline = baseline_doc.get("metrics")
     if not isinstance(baseline, dict) or not baseline:

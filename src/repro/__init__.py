@@ -14,12 +14,12 @@ pure-Python, discrete-event simulation:
 * :mod:`repro.workloads`, :mod:`repro.metrics`, :mod:`repro.experiments` --
   traffic generators, measurement collectors and the per-figure harnesses.
 
-Quickstart::
+Quickstart (the stable public surface is :mod:`repro.api`)::
 
-    from repro.experiments import ScenarioConfig, run_scenario
+    import repro.api as api
 
-    result = run_scenario(ScenarioConfig(num_ues=4, duration_s=5.0,
-                                         cc_name="prague", l4span=True))
+    result = api.run(api.ScenarioSpec(num_ues=4, duration_s=5.0,
+                                      cc_name="prague", l4span=True))
     print(result.summary())
 """
 

@@ -3,14 +3,20 @@
 ``scenario`` runs a single scenario — ad-hoc (``--cc/--marker/--channel``
 flags), from a named preset (``--preset two-cell-imbalance``) or from a JSON
 spec file (``--spec scenario.json``) — and prints its summary.  ``experiment``
-regenerates one of the paper's figures/tables.  Both accept ``--json`` for
-machine-readable output; ``scenario --dump-spec`` prints the resolved spec as
-JSON (the natural way to bootstrap a ``--spec`` file) without running it.
+regenerates one of the paper's figures/tables.  ``serve`` boots the
+long-lived scenario service (``docs/service.md``).  ``scenario --json``
+prints the canonical schema-versioned result document — byte-identical to
+what the service archives and serves for the same spec and seed;
+``scenario --dump-spec`` prints the resolved spec as JSON (the natural way
+to bootstrap a ``--spec`` file) without running it.
 
 All component choices (``--cc``, ``--marker``, ``--channel``,
 ``--scheduler``, ``--preset``) are derived from the registries in
 :mod:`repro.registry`, so a newly registered component is immediately
-selectable here with no CLI edits.
+selectable here with no CLI edits.  The runtime flags shared by
+``scenario`` and ``serve`` (``--engine/--shards/--workers/--shard-windows``)
+come from one argparse parent in :mod:`repro.experiments.options`, so the
+two commands cannot drift apart.
 """
 
 from __future__ import annotations
@@ -27,6 +33,8 @@ from repro.experiments.runner import default_workers
 
 def _build_spec(args: argparse.Namespace):
     """Assemble the scenario spec from --spec / --preset plus flag overrides."""
+    from repro.experiments.options import (apply_runtime_options,
+                                           runtime_options_from_args)
     from repro.experiments.presets import make_preset
     from repro.experiments.spec import ScenarioSpec
 
@@ -49,21 +57,11 @@ def _build_spec(args: argparse.Namespace):
         # The spec's legacy ``l4span`` boolean would otherwise outrank the
         # explicitly requested marker.
         overrides["l4span"] = None
-    if args.shards is not None or args.shard_windows is not None:
-        from repro.experiments.spec import ShardingSpec
-        sharding = spec.sharding
-        if args.shards is not None:
-            sharding = (ShardingSpec(mode="auto", shards=args.shards)
-                        if args.shards > 1 else ShardingSpec(mode="off"))
-        if args.shard_windows is not None:
-            sharding = dataclasses.replace(
-                sharding, adaptive_windows=args.shard_windows == "adaptive")
-        overrides["sharding"] = sharding
-    if args.engine is not None:
-        overrides["engine"] = dataclasses.replace(spec.engine,
-                                                  backend=args.engine)
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
+    # The shared runtime flags (--engine/--shards/--workers/--shard-windows)
+    # go through the same application path as serve-submitted overrides.
+    spec = apply_runtime_options(spec, runtime_options_from_args(args))
     if spec.flows is not None:
         # Explicit flow lists don't consult the scalar defaults; apply the
         # flag to them directly rather than silently doing nothing.
@@ -78,6 +76,7 @@ def _build_spec(args: argparse.Namespace):
 
 
 def _run_scenario_command(args: argparse.Namespace) -> int:
+    from repro.experiments.results import dump_document, result_document
     from repro.experiments.scenario import run_scenario
 
     spec = _build_spec(args)
@@ -89,11 +88,26 @@ def _run_scenario_command(args: argparse.Namespace) -> int:
         blockers = "; ".join(result.sharding_stats.get("blockers", []))
         print("note: spec cannot be sharded, ran on the single event loop "
               f"instead ({blockers})", file=sys.stderr)
-    summary = result.summary()
     if args.json:
-        print(json.dumps(summary, indent=2, sort_keys=True))
+        # The canonical document, exact bytes — identical to the archive
+        # file and to GET /runs/{id}/document for the same spec and seed.
+        sys.stdout.write(dump_document(result_document(result)))
     else:
-        print(format_table([summary]))
+        print(format_table([result.summary()]))
+    return 0
+
+
+def _run_serve_command(args: argparse.Namespace) -> int:
+    from repro.api import serve
+    from repro.experiments.options import runtime_options_from_args
+
+    def announce(service) -> None:
+        print(f"repro scenario service listening on {service.url} "
+              f"(archive: {service.archive.root})", flush=True)
+
+    serve(host=args.host, port=args.port, runs_dir=args.runs_dir,
+          defaults=runtime_options_from_args(args), max_runs=args.max_runs,
+          verbose=args.verbose, announce=announce)
     return 0
 
 
@@ -161,17 +175,22 @@ def main(argv: list[str] | None = None) -> int:
     # Importing the spec module pulls in every component family's defining
     # modules, so all registries are populated before choices are derived.
     import repro.experiments.spec  # noqa: F401
+    from repro.experiments.options import add_runtime_arguments
     from repro.experiments.presets import preset_names
     from repro.registry import (CC_SENDERS, CHANNEL_PROFILES, MARKERS,
                                 SCHEDULERS)
-    from repro.sim.backends import ENGINE_BACKENDS
 
     parser = argparse.ArgumentParser(
         prog="repro", description="L4Span reproduction experiment runner")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    # The one parent contributing --engine/--shards/--workers/--shard-windows
+    # to every command that runs (or will run) scenarios.
+    runtime = argparse.ArgumentParser(add_help=False)
+    add_runtime_arguments(runtime)
+
     scenario = subparsers.add_parser(
-        "scenario",
+        "scenario", parents=[runtime],
         help="run a single scenario (ad-hoc flags, --preset, or --spec) and "
              "print its summary")
     scenario.add_argument("--spec", metavar="FILE",
@@ -189,26 +208,32 @@ def main(argv: list[str] | None = None) -> int:
     scenario.add_argument("--scheduler", default=None,
                           choices=SCHEDULERS.names(include_aliases=True))
     scenario.add_argument("--seed", type=int, default=None)
-    scenario.add_argument(
-        "--shards", type=int, default=None, metavar="N",
-        help="shard a multi-cell scenario over N worker processes "
-             "(1 disables; see the README's Parallelism section)")
-    scenario.add_argument(
-        "--engine", default=None,
-        choices=ENGINE_BACKENDS.names(include_aliases=True),
-        help="engine backend for the per-slot hot loops (default: the "
-             "spec's engine.backend, or $REPRO_ENGINE, or python)")
-    scenario.add_argument(
-        "--shard-windows", choices=("adaptive", "fixed"), default=None,
-        help="barrier window policy for mobility-coupled sharded runs "
-             "(default: the spec's sharding.adaptive_windows, i.e. "
-             "adaptive)")
     scenario.add_argument("--json", action="store_true",
-                          help="print the summary as JSON instead of a table")
+                          help="print the canonical result document as JSON "
+                               "instead of a summary table")
     scenario.add_argument("--dump-spec", action="store_true",
                           help="print the resolved spec as JSON and exit "
                                "without running")
     scenario.set_defaults(handler=_run_scenario_command)
+
+    serve = subparsers.add_parser(
+        "serve", parents=[runtime],
+        help="boot the long-lived scenario service (POST /runs, "
+             "GET /runs/{id}, SSE /runs/{id}/events; see docs/service.md); "
+             "the runtime flags become defaults for submitted specs")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8757,
+                       help="bind port (default: 8757; 0 picks a free port)")
+    serve.add_argument("--runs-dir", default=None, metavar="DIR",
+                       help="run archive directory (default: $REPRO_RUNS_DIR "
+                            "or .repro_runs)")
+    serve.add_argument("--max-runs", type=int, default=1, metavar="N",
+                       help="concurrently executing runs (clamped to the "
+                            "core budget; default: 1)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request to stderr")
+    serve.set_defaults(handler=_run_serve_command)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's figures/tables")

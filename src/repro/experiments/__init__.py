@@ -9,14 +9,29 @@ and produce the rows/series the paper reports.
 from repro.experiments.presets import make_preset, preset_names
 from repro.experiments.runner import (SweepRunner, derive_cell_seed,
                                       run_cells)
-from repro.experiments.scenario import (FlowResult, ScenarioConfig,
-                                        ScenarioResult, build_scenario,
-                                        run_scenario, run_scenario_dict)
+from repro.experiments.scenario import (FlowResult, ScenarioResult,
+                                        build_scenario, run_scenario,
+                                        run_scenario_dict)
 from repro.experiments.sharded import (ShardPlan, build_shard_plan,
                                        run_scenario_sharded, split_spec)
 from repro.experiments.spec import (CellSpec, ScenarioSpec, ShardingSpec,
                                     UeSpec)
 from repro.experiments.wired import WiredScenarioConfig, run_wired_scenario
+
+
+def __getattr__(name: str):
+    """Forward the deprecated ``ScenarioConfig`` alias (with its warning).
+
+    The alias lives behind a module ``__getattr__`` in
+    :mod:`repro.experiments.scenario` so merely importing this package does
+    not fire the :class:`DeprecationWarning`; only actually touching the
+    name does.  Use :mod:`repro.api` (``repro.api.ScenarioSpec``) instead.
+    """
+    if name == "ScenarioConfig":
+        from repro.experiments import scenario
+        return scenario.ScenarioConfig
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "ScenarioSpec",

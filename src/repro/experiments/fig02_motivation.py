@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
+from repro.api import ScenarioResult, ScenarioSpec, run
 from repro.experiments.wired import (WiredScenarioConfig, WiredScenarioResult,
                                      run_wired_scenario)
 from repro.metrics.stats import summarize
@@ -65,7 +65,7 @@ class Fig2Result:
         return rows
 
 
-def _five_g_config(config: Fig2Config, marker: str) -> ScenarioConfig:
+def _five_g_config(config: Fig2Config, marker: str) -> ScenarioSpec:
     flows = [FlowSpec(flow_id=0, ue_id=0, cc_name="prague", label="prague"),
              FlowSpec(flow_id=1, ue_id=0, cc_name="cubic", label="cubic")]
     schedule = []
@@ -74,7 +74,7 @@ def _five_g_config(config: Fig2Config, marker: str) -> ScenarioConfig:
             (config.duration_s * config.shift_start_frac, config.throttled_mbps),
             (config.duration_s * config.shift_end_frac, config.unthrottled_mbps),
         ]
-    return ScenarioConfig(
+    return ScenarioSpec(
         num_ues=1, duration_s=config.duration_s, marker=marker,
         wan_rtt=config.wan_rtt_ms / 1e3, seed=config.seed,
         flows=flows,
@@ -88,6 +88,6 @@ def run_fig2(config: Optional[Fig2Config] = None) -> Fig2Result:
     wired = run_wired_scenario(WiredScenarioConfig(
         cc_names=["prague", "cubic"], bottleneck_mbps=40.0,
         rtt=0.02, duration_s=min(config.duration_s, 6.0), seed=config.seed))
-    plain = run_scenario(_five_g_config(config, marker="none"))
-    with_l4span = run_scenario(_five_g_config(config, marker="l4span"))
+    plain = run(_five_g_config(config, marker="none"))
+    with_l4span = run(_five_g_config(config, marker="l4span"))
     return Fig2Result(wired=wired, plain_5g=plain, l4span_5g=with_l4span)

@@ -11,7 +11,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.api import ScenarioSpec, run
 
 
 @dataclass
@@ -32,7 +32,7 @@ def run_fig10(config: Optional[BreakdownConfig] = None) -> list[dict]:
     rows = []
     for scheduler, ues, marker in itertools.product(
             config.schedulers, config.ue_counts, config.markers):
-        result = run_scenario(ScenarioConfig(
+        result = run(ScenarioSpec(
             num_ues=ues, duration_s=config.duration_s,
             cc_name=config.cc_name, marker=marker, scheduler=scheduler,
             seed=config.seed))

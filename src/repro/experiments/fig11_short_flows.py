@@ -11,7 +11,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.api import ScenarioSpec, run
 from repro.workloads.short_flows import DEFAULT_SLF_BYTES, short_long_mix
 
 
@@ -34,7 +34,7 @@ def run_fig11(config: Optional[ShortFlowConfig] = None) -> list[dict]:
     for cc_name, marker in itertools.product(config.cc_names, config.markers):
         flows = short_long_mix(cc_name, slf_start=config.slf_start,
                                slf_bytes=config.slf_bytes)
-        result = run_scenario(ScenarioConfig(
+        result = run(ScenarioSpec(
             num_ues=1, duration_s=config.duration_s, cc_name=cc_name,
             marker=marker, flows=flows, seed=config.seed))
         llf = result.flows_by_label("llf")[0]

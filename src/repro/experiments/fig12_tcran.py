@@ -11,7 +11,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.api import ScenarioSpec, run
 from repro.metrics.stats import box_stats
 from repro.units import ms
 
@@ -34,7 +34,7 @@ def run_fig12(config: Optional[TcRanComparisonConfig] = None) -> list[dict]:
     rows = []
     for cc, channel, rtt, marker in itertools.product(
             config.cc_names, config.channels, config.wan_rtts, config.markers):
-        result = run_scenario(ScenarioConfig(
+        result = run(ScenarioSpec(
             num_ues=1, duration_s=config.duration_s, cc_name=cc,
             marker=marker, channel_profile=channel, wan_rtt=rtt,
             seed=config.seed))

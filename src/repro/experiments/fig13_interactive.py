@@ -12,7 +12,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.api import ScenarioSpec, run
 from repro.metrics.stats import box_stats
 from repro.workloads.video import interactive_video_flows
 
@@ -36,7 +36,7 @@ def run_fig13(config: Optional[InteractiveConfig] = None) -> list[dict]:
     for cc, channel, marker in itertools.product(
             config.cc_names, config.channels, config.markers):
         flows = interactive_video_flows(config.num_ues, cc_name=cc)
-        result = run_scenario(ScenarioConfig(
+        result = run(ScenarioSpec(
             num_ues=config.num_ues, duration_s=config.duration_s,
             cc_name=cc, marker=marker, channel_profile=channel,
             flows=flows, wan_rtt=0.02, seed=config.seed))

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.experiments.scenario import ScenarioConfig, ScenarioResult, run_scenario
+from repro.api import ScenarioResult, ScenarioSpec, run
 from repro.units import ms
 from repro.workloads.flows import FlowSpec
 
@@ -61,11 +61,11 @@ def _panel_flows(cc_names: list[str], config: FairnessConfig,
 def _run_panel(name: str, cc_names: list[str], config: FairnessConfig,
                wan_rtts: Optional[list[float]] = None) -> FairnessPanel:
     flows = _panel_flows(cc_names, config, rtts=wan_rtts)
-    scenario = ScenarioConfig(num_ues=len(cc_names),
+    scenario = ScenarioSpec(num_ues=len(cc_names),
                               duration_s=config.duration_s,
                               marker="l4span", flows=flows, seed=config.seed,
                               wan_rtt=ms(38))
-    result = run_scenario(scenario)
+    result = run(scenario)
     overlap_start = max(f.start_time for f in flows)
     overlap_end = min(f.stop_time or config.duration_s for f in flows)
     throughputs = []

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.config import L4SpanConfig
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.api import ScenarioSpec, run
 from repro.metrics.stats import cdf_points, percentile
 from repro.units import ms
 
@@ -33,7 +33,7 @@ def run_fig15(config: Optional[ShortCircuitConfig] = None) -> list[dict]:
     rows = []
     for cc, shortcircuit in itertools.product(config.cc_names, (True, False)):
         l4span_config = L4SpanConfig(enable_shortcircuit=shortcircuit)
-        result = run_scenario(ScenarioConfig(
+        result = run(ScenarioSpec(
             num_ues=1, duration_s=config.duration_s, cc_name=cc,
             marker="l4span", wan_rtt=config.wan_rtt,
             l4span_config=l4span_config, seed=config.seed))

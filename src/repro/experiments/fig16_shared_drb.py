@@ -15,7 +15,8 @@ from typing import Optional
 
 from repro.core.l4span import L4SpanLayer
 from repro.core.marking import l4s_mark_probability
-from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.api import ScenarioSpec
+from repro.experiments.scenario import build_scenario
 from repro.metrics.stats import summarize
 from repro.net.ecn import FlowClass
 from repro.workloads.flows import FlowSpec
@@ -69,7 +70,7 @@ def run_shared_drb_case(strategy: str,
         raise ValueError(f"unknown strategy {strategy!r}")
     flows = [FlowSpec(flow_id=0, ue_id=0, cc_name="prague", label="l4s"),
              FlowSpec(flow_id=1, ue_id=0, cc_name="cubic", label="classic")]
-    scenario_config = ScenarioConfig(
+    scenario_config = ScenarioSpec(
         num_ues=1, duration_s=config.duration_s, marker="l4span",
         separate_drbs=False, flows=flows, seed=config.seed)
     built = build_scenario(scenario_config)

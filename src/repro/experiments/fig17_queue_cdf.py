@@ -12,7 +12,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.api import ScenarioSpec, run
 from repro.metrics.stats import cdf_points, summarize
 
 
@@ -32,7 +32,7 @@ def run_fig17(config: Optional[QueueCdfConfig] = None) -> list[dict]:
     config = config if config is not None else QueueCdfConfig()
     rows = []
     for cc, channel in itertools.product(config.cc_names, config.channels):
-        result = run_scenario(ScenarioConfig(
+        result = run(ScenarioSpec(
             num_ues=config.num_ues, duration_s=config.duration_s,
             cc_name=cc, marker="l4span", channel_profile=channel,
             seed=config.seed))

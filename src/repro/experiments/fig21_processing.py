@@ -13,7 +13,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.config import L4SpanConfig
-from repro.experiments.scenario import ScenarioConfig, build_scenario
+from repro.api import ScenarioSpec
+from repro.experiments.scenario import build_scenario
 from repro.metrics.stats import cdf_points, percentile, summarize
 
 
@@ -30,7 +31,7 @@ class ProcessingConfig:
 def run_fig21(config: Optional[ProcessingConfig] = None) -> list[dict]:
     """Measure handler processing times; one row per event type."""
     config = config if config is not None else ProcessingConfig()
-    scenario = ScenarioConfig(
+    scenario = ScenarioSpec(
         num_ues=config.num_ues, duration_s=config.duration_s,
         cc_name=config.cc_name, marker="l4span",
         l4span_config=L4SpanConfig(measure_processing=True),

@@ -31,7 +31,7 @@ import random
 import warnings
 from typing import Optional, Sequence
 
-from repro.experiments.scenario import ScenarioResult, run_scenario
+from repro.api import ScenarioResult, run
 from repro.experiments.sharded import run_scenario_sharded, sharding_blockers
 from repro.experiments.spec import (CellSpec, HandoverSpec, MobilitySpec,
                                     ScenarioSpec, ShardingSpec, UeSpec)
@@ -154,8 +154,8 @@ def check_spec(spec: ScenarioSpec,
     if violations:
         return violations
     single_spec = dataclasses.replace(spec, sharding=ShardingSpec(mode="off"))
-    single = run_scenario(single_spec)
-    if not flows_identical(single, run_scenario(single_spec)):
+    single = run(single_spec)
+    if not flows_identical(single, run(single_spec)):
         violations.append("single loop is not deterministic across repeats")
     violations.extend(_conservation_violations(single))
     for shards in shard_counts:

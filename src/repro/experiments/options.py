@@ -1,0 +1,178 @@
+"""Runtime execution options shared by every scenario-running surface.
+
+``--engine``, ``--shards``, ``--workers`` and ``--shard-windows`` used to be
+wired ad-hoc per CLI subcommand, which is exactly how flag drift happens
+(``scenario`` grew ``--shards`` while ``experiment`` only knew ``--workers``,
+and a served spec had neither).  This module is the single source of truth:
+
+* :func:`add_runtime_arguments` contributes the four flags to an argparse
+  parser — ``python -m repro scenario`` (ad-hoc and ``--preset`` runs alike)
+  and ``python -m repro serve`` both build their parsers from the same
+  parent.
+* :class:`RuntimeOptions` is the parsed form; :meth:`RuntimeOptions.
+  from_mapping` builds it from a service request's ``overrides`` object, so
+  a spec submitted over HTTP accepts exactly the flags the CLI does.
+* :func:`apply_runtime_options` applies them to a
+  :class:`~repro.experiments.spec.ScenarioSpec` — one implementation, used
+  verbatim by every path, regression-tested in ``tests/test_service.py``.
+
+Semantics: ``--engine`` selects the engine backend, ``--shards`` the shard
+process count (1 disables sharding), ``--shard-windows`` the barrier window
+policy, and ``--workers`` caps the worker-process count a single scenario
+may use (i.e. it bounds ``--shards``; the ``experiment`` command separately
+uses its sweep-grid ``--workers``, and the core-budget arbiter in
+:mod:`repro.experiments.runner` still bounds the product globally).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.experiments.spec import ScenarioSpec, ShardingSpec
+from repro.sim.backends import ENGINE_BACKENDS
+
+#: Barrier window policies ``--shard-windows`` understands.
+SHARD_WINDOW_POLICIES = ("adaptive", "fixed")
+
+
+@dataclass(frozen=True)
+class RuntimeOptions:
+    """The runtime knobs every scenario-running surface accepts.
+
+    ``None`` fields leave the spec untouched, so an empty instance is the
+    identity under :func:`apply_runtime_options`.
+    """
+
+    engine: Optional[str] = None
+    shards: Optional[int] = None
+    workers: Optional[int] = None
+    shard_windows: Optional[str] = None
+
+    def merged_over(self, defaults: "RuntimeOptions") -> "RuntimeOptions":
+        """These options, falling back to ``defaults`` for unset fields.
+
+        The service applies request-level overrides *over* its CLI-level
+        defaults through this.
+        """
+        return RuntimeOptions(
+            engine=self.engine if self.engine is not None else defaults.engine,
+            shards=self.shards if self.shards is not None else defaults.shards,
+            workers=(self.workers if self.workers is not None
+                     else defaults.workers),
+            shard_windows=(self.shard_windows if self.shard_windows is not None
+                           else defaults.shard_windows))
+
+    def validate(self) -> "RuntimeOptions":
+        """Check names and counts; return self."""
+        if self.engine is not None:
+            ENGINE_BACKENDS.resolve(self.engine)
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if (self.shard_windows is not None
+                and self.shard_windows not in SHARD_WINDOW_POLICIES):
+            raise ValueError(
+                f"unknown shard-windows policy {self.shard_windows!r}; "
+                f"choose from {SHARD_WINDOW_POLICIES}")
+        return self
+
+    @classmethod
+    def from_mapping(cls, data: dict) -> "RuntimeOptions":
+        """Build (and validate) options from a request's ``overrides`` object.
+
+        Unknown keys and malformed values raise :class:`ValueError` — the
+        service maps that to a 400 with the message, so a typo in a POST
+        body fails as loudly as a typo on the command line.
+        """
+        if not isinstance(data, dict):
+            raise ValueError("'overrides' must be a JSON object, got "
+                             f"{type(data).__name__}")
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - names)
+        if unknown:
+            raise ValueError(f"unknown override(s) {unknown}; "
+                             f"valid overrides: {sorted(names)}")
+        for key in ("shards", "workers"):
+            value = data.get(key)
+            if value is not None and (isinstance(value, bool)
+                                      or not isinstance(value, int)):
+                raise ValueError(f"override {key!r} must be an integer")
+        for key in ("engine", "shard_windows"):
+            value = data.get(key)
+            if value is not None and not isinstance(value, str):
+                raise ValueError(f"override {key!r} must be a string")
+        return cls(**data).validate()
+
+
+def add_runtime_arguments(parser) -> None:
+    """Contribute the shared runtime flags to an argparse parser.
+
+    Used as the one argparse parent for ``scenario`` and ``serve`` (and, by
+    the regression tests, as proof the two cannot drift apart again).
+    """
+    parser.add_argument(
+        "--engine", default=None,
+        choices=ENGINE_BACKENDS.names(include_aliases=True),
+        help="engine backend for the per-slot hot loops (default: the "
+             "spec's engine.backend, or $REPRO_ENGINE, or python)")
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard a multi-cell scenario over N worker processes "
+             "(1 disables; see the README's Parallelism section)")
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="cap the worker processes one scenario may use (bounds "
+             "--shards; the core-budget arbiter still applies)")
+    parser.add_argument(
+        "--shard-windows", choices=SHARD_WINDOW_POLICIES, default=None,
+        help="barrier window policy for mobility-coupled sharded runs "
+             "(default: the spec's sharding.adaptive_windows, i.e. "
+             "adaptive)")
+
+
+def runtime_options_from_args(args) -> RuntimeOptions:
+    """Collect the shared flags out of a parsed argparse namespace."""
+    return RuntimeOptions(engine=args.engine, shards=args.shards,
+                          workers=args.workers,
+                          shard_windows=args.shard_windows)
+
+
+def apply_runtime_options(spec: ScenarioSpec,
+                          options: Optional[RuntimeOptions]) -> ScenarioSpec:
+    """Apply runtime options to a spec; the one authoritative implementation.
+
+    CLI flag handling, preset runs and serve-submitted ``overrides`` all
+    resolve through this function, so identical options produce identical
+    specs on every path.
+    """
+    if options is None:
+        return spec
+    options.validate()
+    overrides: dict = {}
+    sharding = spec.sharding
+    sharding_changed = False
+    if options.shards is not None:
+        sharding = (ShardingSpec(mode="auto", shards=options.shards)
+                    if options.shards > 1 else ShardingSpec(mode="off"))
+        sharding_changed = True
+    if options.shard_windows is not None:
+        sharding = dataclasses.replace(
+            sharding, adaptive_windows=options.shard_windows == "adaptive")
+        sharding_changed = True
+    if options.workers is not None and sharding.mode == "auto":
+        # A single scenario's only process layer is its shards; the workers
+        # cap bounds it (explicit maps keep their placement untouched).
+        if sharding.shards is None or sharding.shards > options.workers:
+            sharding = dataclasses.replace(sharding, shards=options.workers)
+            sharding_changed = True
+    if sharding_changed:
+        overrides["sharding"] = sharding
+    if options.engine is not None:
+        overrides["engine"] = dataclasses.replace(spec.engine,
+                                                  backend=options.engine)
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+    return spec

@@ -36,9 +36,10 @@ from repro.core.factory import make_marker
 from repro.core.l4span import L4SpanLayer
 from repro.experiments.spec import (CellSpec, ScenarioSpec, UeSpec)
 from repro.metrics.collectors import (DelayBreakdownAccumulator,
-                                      OwdCollector, QueueSampler,
-                                      RateEstimationProbe, ThroughputCollector,
-                                      TimeSeries, merge_numeric_summaries)
+                                      OwdCollector, ProgressReporter,
+                                      QueueSampler, RateEstimationProbe,
+                                      ThroughputCollector, TimeSeries,
+                                      merge_numeric_summaries)
 from repro.metrics.stats import box_stats, summarize
 from repro.net.addresses import FiveTuple
 from repro.net.packet import Packet
@@ -54,9 +55,22 @@ from repro.sim.engine import Simulator
 from repro.units import mbps, to_mbps
 from repro.workloads.flows import FlowSpec
 
-#: The declarative spec is the configuration object; the historical name is
-#: kept so every pre-spec call site (and pickled configs) keeps working.
-ScenarioConfig = ScenarioSpec
+def __getattr__(name: str):
+    """Deprecated module attributes (PEP 562).
+
+    ``ScenarioConfig`` was the pre-spec name of :class:`ScenarioSpec`; the
+    alias still resolves (pickled configs and old scripts keep working) but
+    now warns — new code should use :mod:`repro.api` (or ``ScenarioSpec``
+    directly).  Removal is noted in ``docs/service.md``.
+    """
+    if name == "ScenarioConfig":
+        import warnings
+        warnings.warn(
+            "ScenarioConfig is a deprecated alias of ScenarioSpec and will "
+            "be removed; use the repro.api facade (repro.api.ScenarioSpec, "
+            "repro.api.run) instead", DeprecationWarning, stacklevel=2)
+        return ScenarioSpec
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -264,6 +278,8 @@ class BuiltScenario:
         self.queue_sampler = QueueSampler(self.sim, list(self.gnbs.values()),
                                           interval=config.queue_sample_interval)
         self.rate_probe: Optional[RateEstimationProbe] = None
+        #: Live-metric snapshot emitter; None until ``attach_progress``.
+        self.progress_reporter: Optional[ProgressReporter] = None
         self._owd_callbacks: dict[int, object] = {}
         self._build_ues()
         self._build_flows()
@@ -436,6 +452,21 @@ class BuiltScenario:
         return merge_numeric_summaries(
             [summary for _cell, summary in self.marker_cell_summaries()])
 
+    def attach_progress(self, callback,
+                        interval: float = 0.25) -> ProgressReporter:
+        """Emit live per-flow metric snapshots to ``callback`` while running.
+
+        The progress hook behind ``repro.api.run(..., progress=...)`` and
+        the scenario service's event stream; see
+        :class:`repro.metrics.collectors.ProgressReporter` for the snapshot
+        shape.  The callback runs inside the event loop and must not block.
+        """
+        if self.progress_reporter is not None:
+            self.progress_reporter.stop()
+        self.progress_reporter = ProgressReporter(
+            self.sim, self.throughput, callback, interval=interval)
+        return self.progress_reporter
+
     def stop_collectors(self) -> None:
         """Stop periodic machinery (MAC clocks, samplers, probes)."""
         for gnb in self.gnbs.values():
@@ -445,10 +476,17 @@ class BuiltScenario:
             self.mobility.stop()
         if self.rate_probe is not None:
             self.rate_probe.stop()
+        if self.progress_reporter is not None:
+            self.progress_reporter.stop()
 
     def run(self) -> ScenarioResult:
         """Run the simulation and collect results."""
         events = self.sim.run(until=self.config.duration_s)
+        if self.progress_reporter is not None:
+            # Instrumentation must be invisible in the result document:
+            # identical runs with and without a progress hook report the
+            # same event count (the reporter's own ticks are not workload).
+            events -= self.progress_reporter.ticks
         self.stop_collectors()
         return self.collect(events)
 
@@ -611,17 +649,29 @@ def build_scenario(config: ScenarioSpec) -> BuiltScenario:
     return BuiltScenario(config)
 
 
-def run_scenario(config: ScenarioSpec) -> ScenarioResult:
+def run_scenario(config: ScenarioSpec, progress=None,
+                 progress_interval_s: float = 0.25) -> ScenarioResult:
     """Build and run a scenario, returning its results.
 
     When the spec's ``sharding`` block asks for it (and the scenario is
     shardable), cells are distributed over worker processes by the sharded
     runtime; the merged result carries the exact single-loop report schema.
+
+    ``progress`` (optional) receives live metric snapshots every
+    ``progress_interval_s`` simulated seconds: per-flow snapshots from the
+    single event loop (see :meth:`BuiltScenario.attach_progress`), coarser
+    per-barrier-window snapshots from the sharded runtime (worker processes
+    own the flow state mid-run).  Measured results are unaffected either
+    way.
     """
     if config.sharding.enabled:
         from repro.experiments.sharded import run_scenario_sharded
-        return run_scenario_sharded(config)
-    return build_scenario(config).run()
+        return run_scenario_sharded(config, progress=progress,
+                                    progress_interval_s=progress_interval_s)
+    built = build_scenario(config)
+    if progress is not None:
+        built.attach_progress(progress, interval=progress_interval_s)
+    return built.run()
 
 
 def run_scenario_dict(spec_dict: dict) -> ScenarioResult:

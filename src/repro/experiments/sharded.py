@@ -1470,7 +1470,8 @@ def _combined_mbx_floor(sync: _SyncPlan, floors: list[Optional[float]],
 
 
 def _run_hosts_inprocess(hosts: list[ShardHost], router: _BoundaryRouter,
-                         sync: _SyncPlan) -> list[ShardResult]:
+                         sync: _SyncPlan,
+                         on_window=None) -> list[ShardResult]:
     """Drive all shard hosts in one process, window by window.
 
     The sequential twin of the process synchronizer: same windows, same
@@ -1489,6 +1490,8 @@ def _run_hosts_inprocess(hosts: list[ShardHost], router: _BoundaryRouter,
             sync.add_commit_point(when)
         for host, batch in zip(hosts, inbound):
             host.inject(batch)
+        if on_window is not None:
+            on_window(window_end)
         if window_end >= sync.horizon - 1e-12:
             break
         window_end = sync.next_window(
@@ -1550,7 +1553,8 @@ def _recv(conn, shard: int):
 
 def _run_workers(sub_specs: list[ScenarioSpec], router: _BoundaryRouter,
                  sync: _SyncPlan, coupling: Optional[dict],
-                 start_method: Optional[str]) -> list[ShardResult]:
+                 start_method: Optional[str],
+                 on_window=None) -> list[ShardResult]:
     """Coordinator: one worker process per shard, barrier per window."""
     pipes, workers = [], []
     first_window = sync.first_window()
@@ -1603,6 +1607,8 @@ def _run_workers(sub_specs: list[ScenarioSpec], router: _BoundaryRouter,
                                                              router)))
             for conn, batch in zip(pipes, inbound):
                 conn.send(("proceed", (batch, next_window)))
+            if on_window is not None:
+                on_window(window_end)
             if done:
                 break
             window_end = next_window
@@ -1623,10 +1629,21 @@ def _run_workers(sub_specs: list[ScenarioSpec], router: _BoundaryRouter,
 # --------------------------------------------------------------------- #
 # Entry point
 # --------------------------------------------------------------------- #
+def _run_single_loop(spec: ScenarioSpec, progress,
+                     progress_interval_s: float) -> ScenarioResult:
+    """Single-event-loop execution used by the sharded fallback paths."""
+    built = build_scenario(spec)
+    if progress is not None:
+        built.attach_progress(progress, interval=progress_interval_s)
+    return built.run()
+
+
 def run_scenario_sharded(config: ScenarioSpec, shards: Optional[int] = None,
                          inprocess: Optional[bool] = None,
                          start_method: Optional[str] = None,
-                         adaptive: Optional[bool] = None
+                         adaptive: Optional[bool] = None,
+                         progress=None,
+                         progress_interval_s: float = 0.25
                          ) -> ScenarioResult:
     """Run ``config`` with cells sharded across processes; merged result.
 
@@ -1652,7 +1669,7 @@ def run_scenario_sharded(config: ScenarioSpec, shards: Optional[int] = None,
             RuntimeWarning, stacklevel=2)
         unsharded = dataclasses.replace(config,
                                         sharding=ShardingSpec(mode="off"))
-        result = build_scenario(unsharded).run()
+        result = _run_single_loop(unsharded, progress, progress_interval_s)
         result.sharding_stats = {"fallback": "single-loop",
                                  "blockers": list(blockers)}
         return result
@@ -1660,7 +1677,7 @@ def run_scenario_sharded(config: ScenarioSpec, shards: Optional[int] = None,
     if plan.num_shards <= 1:
         unsharded = dataclasses.replace(config,
                                         sharding=ShardingSpec(mode="off"))
-        return build_scenario(unsharded).run()
+        return _run_single_loop(unsharded, progress, progress_interval_s)
     sub_specs = split_spec(config, plan)
     mbx_shard: Optional[int] = None
     if config.wired_bottleneck_mbps is not None:
@@ -1693,13 +1710,23 @@ def run_scenario_sharded(config: ScenarioSpec, shards: Optional[int] = None,
                      commit_points=commit_points,
                      always_coupled=always_coupled,
                      mbx_shard=mbx_shard)
+    on_window = None
+    if progress is not None:
+        def on_window(window_end: float) -> None:
+            # Worker processes own the per-flow state mid-run, so sharded
+            # progress is coarser than the single loop's: one snapshot per
+            # barrier window, carrying the synchronized simulation time.
+            progress({"kind": "window",
+                      "time_s": min(window_end, config.duration_s),
+                      "windows": sync.windows,
+                      "shards": plan.num_shards})
     if inprocess is None:
         inprocess = bool(os.environ.get(INPROCESS_ENV))
     results = None
     if not inprocess:
         try:
             results = _run_workers(sub_specs, router, sync, coupling_payload,
-                                   start_method)
+                                   start_method, on_window=on_window)
         except _WorkersUnavailable as exc:
             sync.windows = 0
             warnings.warn(
@@ -1709,7 +1736,7 @@ def run_scenario_sharded(config: ScenarioSpec, shards: Optional[int] = None,
     if results is None:
         hosts = [ShardHost(sub, index, coupling=coupling_payload)
                  for index, sub in enumerate(sub_specs)]
-        results = _run_hosts_inprocess(hosts, router, sync)
+        results = _run_hosts_inprocess(hosts, router, sync, on_window=on_window)
     if router.dropped_packets:
         warnings.warn(
             f"sharded run dropped {router.dropped_packets} unroutable "

@@ -22,9 +22,10 @@ Three properties make it the currency of the whole experiment layer:
   :mod:`repro.registry`, so a typo fails fast with the list of choices
   instead of deep inside the build.
 
-The historical ``ScenarioConfig`` name is an alias of this class; every field
-it had keeps its exact default, which is why pre-spec experiment outputs are
-bit-identical.
+The historical ``ScenarioConfig`` name is a *deprecated* alias of this class
+(it warns on access and will be removed; see ``docs/service.md``).  Every
+field it had keeps its exact default, which is why pre-spec experiment
+outputs are bit-identical.
 """
 
 from __future__ import annotations

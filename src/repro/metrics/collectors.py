@@ -16,6 +16,7 @@ from repro.metrics.stats import box_stats, summarize
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
+from repro.units import to_mbps
 
 
 class SampleReservoir(list):
@@ -349,6 +350,63 @@ class RateEstimationProbe:
                 continue
             error = 100.0 * (estimate.smoothed_rate - true_rate) / true_rate
             self.errors_percent.append(error)
+
+    def stop(self) -> None:
+        self._process.stop()
+
+
+class ProgressReporter:
+    """Periodically feeds live per-flow metric snapshots to a callback.
+
+    The progress hook behind the scenario service's ``GET /runs/{id}/events``
+    stream (and any programmatic ``repro.api.run(..., progress=...)`` user):
+    every ``interval`` simulated seconds it invokes ``callback`` with one
+    plain-dict snapshot::
+
+        {"kind": "snapshot", "time_s": <sim time>, "events": <processed>,
+         "flows": {"<flow_id>": {"bytes": <cumulative received>,
+                                 "rate_mbps": <rate over the last interval>}}}
+
+    Snapshots are derived from the scenario's existing
+    :class:`ThroughputCollector`, so the hook adds one dict build per tick
+    and nothing to the per-packet path.  The callback runs inside the event
+    loop; it must not block (the service hands snapshots to a queue).
+    """
+
+    def __init__(self, sim: Simulator, throughput: ThroughputCollector,
+                 callback, interval: float = 0.25) -> None:
+        if interval <= 0:
+            raise ValueError("progress interval must be positive")
+        self._sim = sim
+        self._throughput = throughput
+        self._callback = callback
+        self.interval = interval
+        self.snapshots = 0
+        self._last_bytes: dict[int, int] = {}
+        self._last_time = sim.now
+        self._process = PeriodicProcess(sim, interval, self._tick,
+                                        name="progress-reporter")
+
+    def _tick(self) -> None:
+        now = self._sim.now
+        elapsed = max(now - self._last_time, 1e-12)
+        flows = {}
+        for flow_id in sorted(self._throughput.total_bytes):
+            total = self._throughput.total_bytes[flow_id]
+            delta = total - self._last_bytes.get(flow_id, 0)
+            self._last_bytes[flow_id] = total
+            flows[str(flow_id)] = {"bytes": int(total),
+                                   "rate_mbps": to_mbps(delta / elapsed)}
+        self._last_time = now
+        self.snapshots += 1
+        self._callback({"kind": "snapshot", "time_s": now,
+                        "events": self._sim.processed_events,
+                        "flows": flows})
+
+    @property
+    def ticks(self) -> int:
+        """Reporter events executed so far (instrumentation overhead)."""
+        return self._process.ticks
 
     def stop(self) -> None:
         self._process.stop()

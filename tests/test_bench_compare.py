@@ -45,9 +45,12 @@ class TestExtractMetrics:
 
 
 class TestGate:
-    def _baseline(self, tmp_path, metrics) -> pathlib.Path:
+    def _baseline(self, tmp_path, metrics, version=1) -> pathlib.Path:
         baseline = tmp_path / "baseline.json"
-        baseline.write_text(json.dumps({"metrics": metrics}))
+        document = {"schema_version": version, "metrics": metrics}
+        if version is None:
+            del document["schema_version"]
+        baseline.write_text(json.dumps(document))
         return baseline
 
     def test_within_threshold_passes(self, tmp_path, capsys):
@@ -86,8 +89,11 @@ class TestGate:
                                    "--baseline", str(baseline)]) == 0
         assert bench_compare.main(["--run", str(run),
                                    "--baseline", str(baseline)]) == 0
-        saved = json.loads(baseline.read_text())["metrics"]
-        assert saved == {"benchmarks/x.py::a:events_per_sec_best": 1234.5}
+        saved = json.loads(baseline.read_text())
+        assert saved["schema_version"] == \
+            bench_compare.BASELINE_SCHEMA_VERSION
+        assert saved["metrics"] == {
+            "benchmarks/x.py::a:events_per_sec_best": 1234.5}
 
     def test_baseline_without_metrics_mapping_fails_loudly(self, tmp_path,
                                                            capsys):
@@ -95,7 +101,8 @@ class TestGate:
         message, not a KeyError traceback."""
         run = _run_file(tmp_path, [_bench("a", {"events_per_sec_best": 1.0})])
         baseline = tmp_path / "baseline.json"
-        baseline.write_text(json.dumps({"thresholds": {}}))
+        baseline.write_text(json.dumps({"schema_version": 1,
+                                        "thresholds": {}}))
         assert bench_compare.main(["--run", str(run),
                                    "--baseline", str(baseline)]) == 2
         assert "no 'metrics' mapping" in capsys.readouterr().err
@@ -112,7 +119,9 @@ class TestGate:
         run = _run_file(tmp_path, [_bench("a", {"events_per_sec_best": 1.0})])
         baseline = tmp_path / "baseline.json"
         baseline.write_text(json.dumps(
-            {"metrics": {"benchmarks/x.py::a:events_per_sec_best": "fast"}}))
+            {"schema_version": 1,
+             "metrics": {"benchmarks/x.py::a:events_per_sec_best":
+                         "fast"}}))
         assert bench_compare.main(["--run", str(run),
                                    "--baseline", str(baseline)]) == 2
         assert "non-numeric" in capsys.readouterr().err
@@ -146,3 +155,37 @@ class TestBackendMetrics:
         assert bench_compare.main(["--run", str(ratio),
                                    "--baseline", str(baseline)]) == 0
         assert "informational" in capsys.readouterr().out
+
+
+class TestBaselineSchemaVersion:
+    def test_unversioned_baseline_rejected_with_guidance(self, tmp_path,
+                                                         capsys):
+        run = _run_file(tmp_path, [_bench("a", {"events_per_sec_best": 1.0})])
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            {"metrics": {"benchmarks/x.py::a:events_per_sec_best": 1.0}}))
+        assert bench_compare.main(["--run", str(run),
+                                   "--baseline", str(baseline)]) == 2
+        err = capsys.readouterr().err
+        assert "schema_version" in err
+        assert "--update" in err
+
+    def test_future_baseline_version_rejected_with_guidance(self, tmp_path,
+                                                            capsys):
+        run = _run_file(tmp_path, [_bench("a", {"events_per_sec_best": 1.0})])
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            {"schema_version": 99,
+             "metrics": {"benchmarks/x.py::a:events_per_sec_best": 1.0}}))
+        assert bench_compare.main(["--run", str(run),
+                                   "--baseline", str(baseline)]) == 2
+        err = capsys.readouterr().err
+        assert "schema_version 99" in err
+        assert "only understands" in err
+
+    def test_committed_baseline_is_versioned(self):
+        committed = (pathlib.Path(__file__).parent.parent / "benchmarks"
+                     / "baseline.json")
+        document = json.loads(committed.read_text())
+        assert document["schema_version"] in \
+            bench_compare.SUPPORTED_BASELINE_VERSIONS

@@ -41,6 +41,7 @@ def scenarios_tokens(scenarios_md) -> set[str]:
 def test_docs_tree_exists():
     assert (DOCS / "architecture.md").is_file()
     assert (DOCS / "scenarios.md").is_file()
+    assert (DOCS / "service.md").is_file()
 
 
 @pytest.mark.parametrize("registry", [
@@ -85,6 +86,70 @@ def test_documented_presets_actually_exist(scenarios_md):
     documented = set(rows)
     for name in SCENARIO_PRESETS.names():
         assert name in documented
+
+
+@pytest.fixture(scope="module")
+def service_md() -> str:
+    return (DOCS / "service.md").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def service_tokens(service_md) -> set[str]:
+    return set(re.findall(r"`([^`\n]+)`", service_md))
+
+
+def test_service_doc_covers_every_route(service_md):
+    """Every route the handler dispatches appears in docs/service.md."""
+    for route in ("GET /health", "GET /schema", "POST /runs", "GET /runs",
+                  "GET /runs/{id}", "GET /runs/{id}/document",
+                  "GET /runs/{id}/events"):
+        # The doc renders them inside table cells as `GET /health` etc.
+        method, path = route.split(" ", 1)
+        assert re.search(rf"`{method}\s+{re.escape(path)}`", service_md), (
+            f"route {route!r} is served but missing from docs/service.md")
+
+
+def test_service_doc_covers_request_and_override_keys(service_tokens):
+    from repro.experiments.options import RuntimeOptions
+    from repro.service.jobs import REQUEST_KEYS, RUN_STATUSES
+
+    for key in REQUEST_KEYS:
+        assert key in service_tokens, (
+            f"POST /runs key {key!r} missing from docs/service.md")
+    for field in dataclasses.fields(RuntimeOptions):
+        assert field.name in service_tokens, (
+            f"override {field.name!r} missing from docs/service.md")
+    for status in RUN_STATUSES:
+        assert status in service_tokens, (
+            f"run status {status!r} missing from docs/service.md")
+
+
+def test_service_doc_states_current_schema_version(service_md):
+    from repro.experiments.results import SCHEMA_VERSION
+    assert f"version `{SCHEMA_VERSION}`" in service_md, (
+        "docs/service.md must state the current result-document "
+        f"schema_version ({SCHEMA_VERSION})")
+
+
+def test_service_doc_covers_document_fields(service_tokens):
+    """The top-level field list in the doc tracks the real document."""
+    import repro.api as api
+    document = api.run_document(api.ScenarioSpec(num_ues=1, duration_s=0.2))
+    for key in document:
+        assert key in service_tokens, (
+            f"document field {key!r} missing from docs/service.md")
+
+
+def test_service_doc_covers_service_env_vars(service_tokens):
+    from repro.service.archive import DEFAULT_RUNS_DIR, RUNS_DIR_ENV
+    assert f"${RUNS_DIR_ENV}" in service_tokens
+    assert DEFAULT_RUNS_DIR in service_tokens
+    assert "REPRO_CORE_BUDGET" in service_tokens
+
+
+def test_service_doc_notes_scenario_config_deprecation(service_md):
+    assert "ScenarioConfig" in service_md
+    assert "DeprecationWarning" in service_md
 
 
 def test_documented_defaults_match_spec(scenarios_md):

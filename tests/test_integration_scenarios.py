@@ -12,7 +12,8 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import L4SpanConfig
-from repro.experiments.scenario import ScenarioConfig, run_scenario
+from repro.experiments.scenario import run_scenario
+from repro.experiments.spec import ScenarioSpec
 from repro.experiments.wired import WiredScenarioConfig, run_wired_scenario
 from repro.units import ms
 from repro.workloads.flows import FlowSpec
@@ -20,7 +21,7 @@ from repro.workloads.short_flows import short_long_mix
 
 
 def _run(marker, cc_name="prague", duration=4.0, num_ues=1, **kwargs):
-    return run_scenario(ScenarioConfig(num_ues=num_ues, duration_s=duration,
+    return run_scenario(ScenarioSpec(num_ues=num_ues, duration_s=duration,
                                        cc_name=cc_name, marker=marker,
                                        seed=3, **kwargs))
 
@@ -97,9 +98,9 @@ class TestSchedulersAndModes:
 class TestShortFlows:
     def test_short_flow_completes_and_l4span_speeds_it_up(self):
         flows = short_long_mix("prague", slf_start=2.0)
-        baseline = run_scenario(ScenarioConfig(
+        baseline = run_scenario(ScenarioSpec(
             num_ues=1, duration_s=5.0, marker="none", flows=flows, seed=3))
-        l4span = run_scenario(ScenarioConfig(
+        l4span = run_scenario(ScenarioSpec(
             num_ues=1, duration_s=5.0, marker="l4span", flows=flows, seed=3))
         slf_base = baseline.flows_by_label("slf")[0]
         slf_l4s = l4span.flows_by_label("slf")[0]
@@ -112,9 +113,9 @@ class TestShortCircuit:
     def test_shortcircuit_reduces_feedback_delay(self):
         common = dict(num_ues=1, duration_s=4.0, cc_name="prague",
                       marker="l4span", wan_rtt=ms(10), seed=3)
-        with_sc = run_scenario(ScenarioConfig(
+        with_sc = run_scenario(ScenarioSpec(
             l4span_config=L4SpanConfig(enable_shortcircuit=True), **common))
-        without_sc = run_scenario(ScenarioConfig(
+        without_sc = run_scenario(ScenarioSpec(
             l4span_config=L4SpanConfig(enable_shortcircuit=False), **common))
         assert with_sc.marker_summary["shortcircuited_acks"] > 0
         assert without_sc.marker_summary["shortcircuited_acks"] == 0
@@ -126,7 +127,7 @@ class TestShortCircuit:
 class TestInteractiveVideo:
     def test_scream_over_udp_is_marked_on_the_downlink(self):
         flows = [FlowSpec(flow_id=0, ue_id=0, cc_name="scream", label="video")]
-        result = run_scenario(ScenarioConfig(
+        result = run_scenario(ScenarioSpec(
             num_ues=1, duration_s=4.0, marker="l4span", flows=flows,
             wan_rtt=ms(20), seed=3))
         video = result.flows[0]
@@ -153,10 +154,10 @@ class TestDeterminism:
         assert a.total_goodput_mbps() == b.total_goodput_mbps()
 
     def test_different_seeds_differ(self):
-        a = run_scenario(ScenarioConfig(num_ues=1, duration_s=2.0,
+        a = run_scenario(ScenarioSpec(num_ues=1, duration_s=2.0,
                                         cc_name="prague", marker="l4span",
                                         channel_profile="mobile", seed=1))
-        b = run_scenario(ScenarioConfig(num_ues=1, duration_s=2.0,
+        b = run_scenario(ScenarioSpec(num_ues=1, duration_s=2.0,
                                         cc_name="prague", marker="l4span",
                                         channel_profile="mobile", seed=2))
         assert a.median_owd_ms() != b.median_owd_ms()

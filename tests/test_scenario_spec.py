@@ -8,8 +8,7 @@ import json
 import pytest
 
 from repro.experiments.presets import make_preset, preset_names
-from repro.experiments.scenario import (ScenarioConfig, build_scenario,
-                                        run_scenario)
+from repro.experiments.scenario import build_scenario, run_scenario
 from repro.experiments.spec import (CellSpec, PopulationSpec, ScenarioSpec,
                                     UeSpec)
 from repro.ran.cell import CellConfig
@@ -142,8 +141,13 @@ class TestSpecSerialization:
         with pytest.raises(ValueError):
             ScenarioSpec.from_json("[1, 2, 3]")
 
-    def test_scenario_config_is_spec_alias(self):
-        assert ScenarioConfig is ScenarioSpec
+    def test_scenario_config_alias_warns_but_resolves(self):
+        import repro.experiments
+        import repro.experiments.scenario as scenario_module
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            assert scenario_module.ScenarioConfig is ScenarioSpec
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            assert repro.experiments.ScenarioConfig is ScenarioSpec
 
 
 class TestSpecValidation:
@@ -360,12 +364,17 @@ class TestSpecSweepDeterminism:
 # CLI
 # --------------------------------------------------------------------------- #
 class TestCli:
-    def test_scenario_json_output(self, capsys):
+    def test_scenario_json_output_is_versioned_document(self, capsys):
         from repro.__main__ import main
+        from repro.experiments.results import SCHEMA_VERSION, check_document
         assert main(["scenario", "--ues", "1", "--duration", "1.0",
                      "--json"]) == 0
-        summary = json.loads(capsys.readouterr().out)
-        assert summary["total_goodput_mbps"] > 0
+        document = json.loads(capsys.readouterr().out)
+        check_document(document)
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["kind"] == "scenario-result"
+        assert document["summary"]["total_goodput_mbps"] > 0
+        assert document["spec"]["num_ues"] == 1
 
     def test_dump_spec_round_trips_through_spec_file(self, capsys, tmp_path):
         from repro.__main__ import main
@@ -375,9 +384,9 @@ class TestCli:
         spec_file = tmp_path / "scenario.json"
         spec_file.write_text(dumped)
         assert main(["scenario", "--spec", str(spec_file), "--json"]) == 0
-        summary = json.loads(capsys.readouterr().out)
-        assert summary["label"] == "two-cell-imbalance"
-        assert summary["total_goodput_mbps"] > 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["label"] == "two-cell-imbalance"
+        assert document["summary"]["total_goodput_mbps"] > 0
 
     def test_spec_and_preset_mutually_exclusive(self, tmp_path):
         from repro.__main__ import main

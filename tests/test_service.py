@@ -1,0 +1,300 @@
+"""End-to-end tests for the scenario service (``repro serve``).
+
+The service is booted on a real socket (port 0) and exercised over HTTP
+with the stdlib client, since the byte-identity contract — CLI ``--json``,
+the archive file and ``GET /runs/{id}/document`` all emit the same bytes —
+is only meaningful across the real serialization boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.options import RuntimeOptions, apply_runtime_options
+from repro.experiments.results import SCHEMA_VERSION, check_document
+from repro.experiments.spec import ScenarioSpec
+from repro.service import ScenarioService, spec_from_request
+
+
+# --------------------------------------------------------------------- #
+# HTTP helpers
+# --------------------------------------------------------------------- #
+def _get(service, path: str):
+    with urllib.request.urlopen(f"{service.url}{path}") as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def _get_json(service, path: str):
+    status, body = _get(service, path)
+    return status, json.loads(body)
+
+
+def _post(service, payload):
+    request = urllib.request.Request(
+        f"{service.url}/runs", data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _wait_done(service, run_id: str, timeout_s: float = 60.0) -> dict:
+    import time
+
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        _, status = _get_json(service, f"/runs/{run_id}")
+        if status["status"] in ("done", "failed"):
+            return status
+        time.sleep(0.05)
+    raise AssertionError(f"run {run_id} did not settle within {timeout_s}s")
+
+
+@pytest.fixture()
+def service(tmp_path):
+    instance = ScenarioService(port=0, runs_dir=str(tmp_path / "runs"))
+    instance.start_background()
+    yield instance
+    instance.close()
+
+
+# --------------------------------------------------------------------- #
+# The byte-identity contract
+# --------------------------------------------------------------------- #
+class TestRoundTrip:
+    def test_preset_roundtrip_matches_cli_json_bytes(self, service, capsys):
+        """coupled-core over HTTP == coupled-core via ``scenario --json``,
+        byte for byte, and the archived file is that same text."""
+        from repro.__main__ import main
+
+        assert main(["scenario", "--preset", "coupled-core", "--json"]) == 0
+        cli_text = capsys.readouterr().out
+
+        status, submitted = _post(service, {"preset": "coupled-core"})
+        assert status == 202
+        run_id = submitted["run_id"]
+        final = _wait_done(service, run_id)
+        assert final["status"] == "done"
+
+        _, served_text = _get(service, f"/runs/{run_id}/document")
+        archived_text = service.archive.read_document(run_id)
+        assert served_text == cli_text
+        assert archived_text == cli_text
+        document = json.loads(served_text)
+        check_document(document)
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["label"] == "coupled-core"
+
+    def test_status_envelope_embeds_document_when_done(self, service):
+        _, submitted = _post(
+            service, {"spec": {"num_ues": 1, "duration_s": 0.3}})
+        final = _wait_done(service, submitted["run_id"])
+        assert final["status"] == "done"
+        assert final["document"]["schema_version"] == SCHEMA_VERSION
+        assert final["document"]["summary"]["total_goodput_mbps"] > 0
+
+    def test_archive_query_by_preset_and_status(self, service):
+        _, submitted = _post(service, {"preset": "coupled-core"})
+        _wait_done(service, submitted["run_id"])
+        _, listing = _get_json(service, "/runs?preset=coupled-core")
+        assert listing["count"] >= 1
+        entry = listing["runs"][-1]
+        assert entry["status"] == "done"
+        assert entry["label"] == "coupled-core"
+        _, empty = _get_json(service, "/runs?preset=coupled-core&status=failed")
+        assert empty["count"] == 0
+
+
+# --------------------------------------------------------------------- #
+# Shared runtime options: the flag-drift regression test
+# --------------------------------------------------------------------- #
+class TestRuntimeOptionParity:
+    def test_cli_flags_and_service_overrides_build_identical_specs(
+            self, capsys):
+        """--engine/--shards/--shard-windows through ``repro scenario`` and
+        through a POSTed ``overrides`` object must resolve to the same
+        spec — the drift that motivated the shared argparse parent."""
+        from repro.__main__ import main
+
+        assert main(["scenario", "--preset", "coupled-core", "--shards", "2",
+                     "--engine", "numpy", "--shard-windows", "fixed",
+                     "--dump-spec"]) == 0
+        cli_spec = ScenarioSpec.from_json(capsys.readouterr().out)
+
+        service_spec, _ = spec_from_request(
+            {"preset": "coupled-core",
+             "overrides": {"shards": 2, "engine": "numpy",
+                           "shard_windows": "fixed"}})
+        assert service_spec == cli_spec
+
+    def test_serve_level_defaults_yield_to_request_overrides(self):
+        defaults = RuntimeOptions(engine="numpy", shards=4)
+        spec, _ = spec_from_request(
+            {"preset": "coupled-core", "overrides": {"shards": 2}}, defaults)
+        assert spec.sharding.shards == 2
+        assert spec.engine.backend == "numpy"
+
+    def test_workers_flag_caps_shard_count(self):
+        spec = apply_runtime_options(
+            ScenarioSpec(), RuntimeOptions(shards=8, workers=3))
+        assert spec.sharding.mode == "auto"
+        assert spec.sharding.shards == 3
+
+    def test_unknown_override_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown override"):
+            RuntimeOptions.from_mapping({"shard": 2})
+
+
+# --------------------------------------------------------------------- #
+# Malformed submissions become 400s, not tracebacks
+# --------------------------------------------------------------------- #
+class TestBadRequests:
+    @pytest.mark.parametrize("payload, fragment", [
+        ([1, 2, 3], "JSON object"),
+        ({}, "exactly one of 'preset' or 'spec'"),
+        ({"preset": "coupled-core", "spec": {}},
+         "exactly one of 'preset' or 'spec'"),
+        ({"preset": "no-such-preset"}, "unknown preset"),
+        ({"spec": {"num_uess": 3}}, "unknown field"),
+        ({"spec": {"num_ues": 1, "cc_name": "vegas"}}, "congestion"),
+        ({"spec": {"num_ues": 1}, "overrides": {"shards": "two"}},
+         "integer"),
+        ({"spec": {"num_ues": 1}, "overrides": {"engine": "fortran"}},
+         "engine backend"),
+        ({"bogus": 1}, "unknown request key"),
+    ])
+    def test_bad_payloads_return_400(self, service, payload, fragment):
+        status, body = _post(service, payload)
+        assert status == 400
+        assert fragment in body["error"]
+
+    def test_non_json_body_returns_400(self, service):
+        request = urllib.request.Request(f"{service.url}/runs",
+                                         data=b"{not json")
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request)
+        assert info.value.code == 400
+
+    def test_unknown_run_and_route_return_404(self, service):
+        for path in ("/runs/run-9999-nope", "/runs/run-9999-nope/document",
+                     "/nonsense"):
+            with pytest.raises(urllib.error.HTTPError) as info:
+                urllib.request.urlopen(f"{service.url}{path}")
+            assert info.value.code == 404
+
+    def test_unknown_query_parameter_rejected(self, service):
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(f"{service.url}/runs?colour=red")
+        assert info.value.code == 400
+
+
+# --------------------------------------------------------------------- #
+# The live event stream
+# --------------------------------------------------------------------- #
+class TestEventStream:
+    def _read_events(self, service, run_id: str) -> list[tuple[str, dict]]:
+        events = []
+        with urllib.request.urlopen(
+                f"{service.url}/runs/{run_id}/events") as response:
+            assert response.headers["Content-Type"] == "text/event-stream"
+            for block in response.read().decode("utf-8").split("\n\n"):
+                kind, data = None, None
+                for line in block.splitlines():
+                    if line.startswith("event: "):
+                        kind = line[len("event: "):]
+                    elif line.startswith("data: "):
+                        data = json.loads(line[len("data: "):])
+                if kind is not None:
+                    events.append((kind, data))
+        return events
+
+    def test_snapshots_stream_in_order_and_terminate(self, service):
+        _, submitted = _post(
+            service, {"spec": {"num_ues": 1, "duration_s": 1.0}})
+        run_id = submitted["run_id"]
+        events = self._read_events(service, run_id)
+        kinds = [kind for kind, _ in events]
+        assert kinds[-1] == "end"
+        snapshots = [data for kind, data in events if kind == "snapshot"]
+        assert len(snapshots) >= 2
+        times = [snapshot["time_s"] for snapshot in snapshots]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)
+        assert all(snapshot["events"] > 0 for snapshot in snapshots)
+        assert events[-1][1]["status"] == "done"
+
+    def test_stream_replays_after_completion(self, service):
+        _, submitted = _post(
+            service, {"spec": {"num_ues": 1, "duration_s": 0.6}})
+        run_id = submitted["run_id"]
+        _wait_done(service, run_id)
+        events = self._read_events(service, run_id)
+        assert [kind for kind, _ in events].count("snapshot") >= 1
+        assert events[-1][0] == "end"
+
+
+# --------------------------------------------------------------------- #
+# Concurrency under the core-budget arbiter
+# --------------------------------------------------------------------- #
+class TestConcurrency:
+    def test_slots_clamped_by_core_budget(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CORE_BUDGET", "2")
+        instance = ScenarioService(port=0, runs_dir=str(tmp_path / "runs"),
+                                   max_runs=8)
+        try:
+            assert instance.jobs.slots == 2
+        finally:
+            instance.close()
+
+    def test_single_slot_serializes_concurrent_submissions(
+            self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CORE_BUDGET", "1")
+        instance = ScenarioService(port=0, runs_dir=str(tmp_path / "runs"),
+                                   max_runs=4)
+        instance.start_background()
+        try:
+            assert instance.jobs.slots == 1
+            run_ids = []
+            for _ in range(3):
+                _, submitted = _post(
+                    instance, {"spec": {"num_ues": 1, "duration_s": 0.3}})
+                run_ids.append(submitted["run_id"])
+            for run_id in run_ids:
+                assert _wait_done(instance, run_id)["status"] == "done"
+            spans = {}
+            for entry in instance.archive.entries():
+                if entry["run_id"] in run_ids:
+                    spans[entry["run_id"]] = (entry["started_at"],
+                                              entry["finished_at"])
+            assert len(spans) == 3
+            ordered = sorted(spans.values())
+            for (_, finished), (started, _) in zip(ordered, ordered[1:]):
+                # One slot: the next run may not start before the previous
+                # one finished.
+                assert started >= finished
+        finally:
+            instance.close()
+
+
+# --------------------------------------------------------------------- #
+# Service metadata endpoints
+# --------------------------------------------------------------------- #
+class TestMetadata:
+    def test_health_reports_schema_version_and_slots(self, service):
+        status, health = _get_json(service, "/health")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["schema_version"] == SCHEMA_VERSION
+        assert health["slots"] >= 1
+
+    def test_schema_endpoint_serves_result_schema(self, service):
+        from repro.experiments.results import result_schema
+
+        _, served = _get_json(service, "/schema")
+        assert served == result_schema()
