@@ -57,7 +57,7 @@ run**.
 
 Coupled topologies
 ------------------
-Three couplings the barrier once refused are now first-class protocol:
+Five couplings the barrier once refused are now first-class protocol:
 
 * **A shared wired middlebox** is hosted on one shard; every shard cuts
   its senders at WAN entry (``mbx_in`` boundary items into the host
@@ -78,11 +78,23 @@ Three couplings the barrier once refused are now first-class protocol:
   times into *commit points* (:func:`schedule_commit_points`): the barrier
   lands exactly on the handover and the transfer crosses with a
   same-instant stamp instead of one lookahead late.
+* **Wrapped >250-UE address spaces** are routed address-space-aware: the
+  single core resolves a client-IP collision last-registration-wins (the
+  highest ue_id sharing the address receives — and mis-receives — every
+  packet for it), so every shard unregisters losing addresses and re-cuts
+  losing senders at WAN entry toward the winner's shard
+  (:class:`_AliasRouting`), reproducing the misdelivery byte-for-byte.
+* **Zero-rate middlebox schedule steps** stall the shared queue; the
+  window floor falls back to the schedule's next rate-resume event (the
+  earliest instant the head packet could start serialising), or — with no
+  resume left — stops constraining windows at all, exactly mirroring the
+  single loop's stalled link.
 
 Scenarios a split genuinely cannot reproduce exactly are still refused up
 front by :func:`sharding_blockers` and fall back (with a warning) to the
-single loop: wrapped >250-UE address spaces, zero-rate middlebox schedules
-and explicitly-undersized SNR commit lags.
+single loop: explicitly-undersized SNR commit lags, and wrapped address
+spaces whose colliding UEs are potentially mobile (mobility re-registers
+addresses mid-run, so the winner would change unreproducibly).
 
 The per-shard collector outputs are recombined by the merge helpers in
 :mod:`repro.metrics.collectors` into the exact single-loop report schema;
@@ -169,35 +181,56 @@ class ShardPlan:
         return [cell for cell, s in self.assignment.items() if s == shard]
 
 
+def wrapped_address_aliases(spec: ScenarioSpec) -> dict[str, int]:
+    """Wrapped client addresses mapped to their *winning* UE id (empty=none).
+
+    The /24 client address space wraps past 250 UEs
+    (:func:`~repro.experiments.scenario.ue_ip_address`).  The single loop
+    registers UE addresses in ascending ue_id order and the core's routing
+    table is last-write-wins, so every packet addressed to a wrapped
+    address is delivered (and mis-delivered) to the **highest ue_id**
+    sharing it — that UE is the address's winner.  A pure function of the
+    spec, so the boundary router, the per-shard alias runtime and the merge
+    step all derive the same verdict without building scenarios.
+    """
+    last: dict[str, int] = {}
+    conflicts: set[str] = set()
+    for ue in spec.resolved_ues():  # ascending ue_id — registration order
+        address = ue_ip_address(ue.ue_id)
+        if address in last:
+            conflicts.add(address)
+        last[address] = ue.ue_id
+    return {address: last[address] for address in sorted(conflicts)}
+
+
 def sharding_blockers(spec: ScenarioSpec) -> list[str]:
     """Human-readable reasons why ``spec`` cannot be sharded (empty = can).
 
     The coupled-topology protocol retired the historical blockers: a shared
     wired middlebox is hosted on one shard with its traffic exchanged as
     boundary items, SNR-triggered handovers run the two-phase
-    decide-then-commit protocol, and interruptions shorter than the
-    lookahead force a barrier at the commit time.  What remains unshardable
-    is what a split genuinely cannot reproduce byte-for-byte.
+    decide-then-commit protocol, interruptions shorter than the lookahead
+    force a barrier at the commit time, wrapped >250-UE address spaces are
+    routed address-space-aware at the winner's shard, and zero-rate
+    middlebox schedule steps floor the window at the rate-resume event.
+    What remains unshardable is what a split genuinely cannot reproduce
+    byte-for-byte.
     """
     blockers = []
     if len(spec.resolved_cells()) < 2:
         blockers.append("fewer than two cells")
-    ues = spec.resolved_ues()
-    if len({ue_ip_address(ue.ue_id) for ue in ues}) < len(ues):
-        # The /24 client address space wraps past 250 UEs; the single loop
-        # resolves the collision with a last-registration-wins routing table
-        # (misdelivering the earlier UE's flows), and a shard split cannot
-        # reproduce that byte-for-byte when the colliding UEs land on
-        # different shards.  Refuse rather than silently diverge.
-        blockers.append("UE address space wraps (>250 UEs share an IP)")
-    if spec.wired_bottleneck_mbps is not None:
-        rates = [spec.wired_bottleneck_mbps]
-        rates.extend(rate for _t, rate in spec.wired_bottleneck_schedule)
-        if min(rates) <= 0:
-            # A zero-rate middlebox stalls its link with no event bounding
-            # the eventual release; the synchronizer cannot place a safe
-            # window floor under it.
-            blockers.append("the wired middlebox schedule sets a zero rate")
+    aliases = wrapped_address_aliases(spec)
+    if aliases:
+        # The single loop resolves a wrapped address last-registration-wins
+        # — a *static* property the alias runtime reproduces exactly.  A
+        # potentially mobile collider re-registers its address at every
+        # handover, making the winner a function of handover timing the
+        # split cannot reproduce; refuse rather than silently diverge.
+        wrapped_ues = {ue.ue_id for ue in spec.resolved_ues()
+                       if ue_ip_address(ue.ue_id) in aliases}
+        if wrapped_ues & potentially_mobile_ues(spec):
+            blockers.append("a potentially mobile UE shares a wrapped "
+                            "client address")
     if (spec.mobility.mode == "snr"
             and spec.mobility.commit_lag_s is not None
             and spec.mobility.commit_lag_s
@@ -783,6 +816,88 @@ class _ShardMobility:
 
 
 # --------------------------------------------------------------------- #
+# Wrapped (>250-UE) address spaces: route aliases at the winner's shard
+# --------------------------------------------------------------------- #
+class _AliasWanPath:
+    """A losing flow's forward path: cut at WAN entry, aimed at the winner.
+
+    Mirrors :class:`_MobileWanPath`: the WAN pipe's one-way leg is applied
+    arithmetically and the handoff carries the true core-arrival time
+    (``entry + wan_leg``), so the winner shard's core ingests the packet at
+    exactly the single loop's time.  The leg is at least the conservative
+    lookahead, which is what makes the stamp barrier-safe.
+    """
+
+    __slots__ = ("_runtime", "_leg", "_target")
+
+    def __init__(self, runtime: "_AliasRouting", wan_leg: float,
+                 target: int) -> None:
+        self._runtime = runtime
+        self._leg = wan_leg
+        self._target = target
+
+    def receive(self, packet: Packet) -> None:
+        runtime = self._runtime
+        runtime.boundary.hand_off(runtime.sim.now + self._leg, packet,
+                                  self._target, "core_dl")
+
+
+class _AliasRouting:
+    """Address-space-aware boundary routing of wrapped client addresses.
+
+    The single shared core resolves a wrapped address collision
+    last-registration-wins: the highest ue_id sharing the address receives
+    every packet for it, and the losing UEs' flows are mis-delivered into
+    the winner's bearers (counted, then dropped at the UE for lack of a
+    receiver — no ACKs, so the losing senders retransmit a trickle).
+
+    Per shard this runtime makes the split reproduce exactly that: shards
+    not hosting an address's winner drop their losing registration from the
+    local core, and local senders whose destination address wins remotely
+    are re-cut at WAN entry (:class:`_AliasWanPath`).  Shards hosting both
+    a loser and the winner already resolve locally — registration order is
+    ascending ue_id, so the local last write is the global winner.
+
+    Wrapped UEs are validated non-mobile (:func:`sharding_blockers`), so
+    the winner map is static for the whole run.  A shared middlebox, built
+    after this runtime, supersedes the sender cut; its egress tables
+    resolve wrapped addresses to the winner's cell by the same
+    last-write-wins construction.
+    """
+
+    def __init__(self, host: "ShardHost", full_spec: ScenarioSpec,
+                 assignment: dict[int, int],
+                 aliases: dict[str, int]) -> None:
+        scenario = host.scenario
+        self.sim = scenario.sim
+        self.boundary = host.boundary
+        self.shard_index = host.shard_index
+        assignment = {int(cell): int(shard)
+                      for cell, shard in assignment.items()}
+        ue_cell = {ue.ue_id: ue.cell_id for ue in full_spec.resolved_ues()}
+        self.winner_shard: dict[str, int] = {
+            address: assignment[ue_cell[winner]]
+            for address, winner in aliases.items()}
+        for address, shard in self.winner_shard.items():
+            if (shard != self.shard_index
+                    and scenario.core.knows_ue_address(address)):
+                # This shard hosts only losing UEs of the address: the
+                # local registration must go, like the single core's table
+                # after the winner's (later) registration overwrote it.
+                scenario.core.unregister_ue_address(address)
+        for flow in full_spec.resolved_flows():
+            sender = scenario.senders.get(flow.flow_id)
+            if sender is None:
+                continue
+            target = self.winner_shard.get(ue_ip_address(flow.ue_id))
+            if target is None or target == self.shard_index:
+                continue
+            rtt = (flow.wan_rtt if flow.wan_rtt is not None
+                   else full_spec.wan_rtt)
+            sender.path = _AliasWanPath(self, rtt / 2.0, target)
+
+
+# --------------------------------------------------------------------- #
 # The shared wired middlebox, hosted on one shard
 # --------------------------------------------------------------------- #
 class _TrackedLink(Link):
@@ -815,8 +930,11 @@ class _TrackedLink(Link):
         self._busy = True
         serialization = transmission_time(packet.size, self.rate)
         if serialization == float("inf"):
-            # Stalled zero-rate link; unreachable through
-            # run_scenario_sharded (sharding_blockers refuses zero rates).
+            # Stalled: a zero-rate schedule step holds the head packet on
+            # the queue until set_rate() resumes the link.  No completion
+            # can be predicted, so the synchronizer's floor falls back to
+            # the schedule's next rate-resume event (_SharedMiddlebox
+            # floor()) instead of the in-flight serialisation.
             self.queue._queue.appendleft(packet)  # noqa: SLF001 - re-queue head
             self.queue.bytes += packet.size
             self._busy = False
@@ -913,6 +1031,11 @@ class _SharedMiddlebox:
             sender.path = _MiddleboxWanPath(self, rtt / 2.0)
         #: Known future arrival times into the host queue (heap).
         self._pending: list[float] = []
+        #: Schedule times at which a zero-rate stall ends (sorted): while
+        #: the link is stalled the window floor is the next of these.
+        self._resume_times: list[float] = sorted(
+            start for start, rate in full_spec.wired_bottleneck_schedule
+            if rate > 0)
         self.router: Optional[BottleneckRouter] = None
         if self.shard_index == mbx_shard:
             self.router = BottleneckRouter(
@@ -967,6 +1090,18 @@ class _SharedMiddlebox:
             self.boundary.hand_off(self.sim.now + self.core_processing,
                                    packet, target, "mbx_core_dl")
 
+    def _next_resume(self, now: float) -> Optional[float]:
+        """Strictly-future schedule time the rate becomes positive again.
+
+        ``None`` when the schedule never resumes: a link stalled to the
+        horizon constrains no window — its queued packets never egress,
+        exactly like the single loop's.
+        """
+        index = bisect_right(self._resume_times, now + 1e-12)
+        if index >= len(self._resume_times):
+            return None
+        return self._resume_times[index]
+
     def floor(self) -> Optional[float]:
         """Earliest possible next egress; None when provably idle.
 
@@ -976,6 +1111,10 @@ class _SharedMiddlebox:
         yet known to the host are caused by sender events at or after the
         global event floor and land a full WAN leg later, so they can
         never undercut the window the synchronizer derives from this.
+
+        A queue stalled by a zero-rate schedule step cannot emit before
+        the schedule's next positive-rate event, so the floor rests there
+        (or vanishes entirely when the schedule never resumes).
         """
         if self.router is None:
             return None
@@ -984,9 +1123,15 @@ class _SharedMiddlebox:
         if link.next_completion is not None:
             earliest = link.next_completion
         elif not link.queue.empty:
-            # Stalled (zero rate): defensively pin the floor to now.
-            # Unreachable through run_scenario_sharded.
-            earliest = self.sim.now
+            if link.rate > 0:
+                # Mid-cascade (a dequeue is pending via call_soon after an
+                # AQM drop): conservatively pin the floor to now.
+                earliest = self.sim.now
+            else:
+                # Stalled at zero rate: the head packet resumes with the
+                # schedule.  (_TrackedLink re-queued it; set_rate fires
+                # _transmit_next when the rate turns positive again.)
+                earliest = self._next_resume(self.sim.now)
         if self._pending and (earliest is None
                               or self._pending[0] < earliest):
             earliest = self._pending[0]
@@ -1013,6 +1158,7 @@ class ShardHost:
         self.boundary = _BoundaryBuffer(self.scenario.sim)
         self.scenario.core.remote_sink = self.boundary
         self.mobility: Optional[_ShardMobility] = None
+        self.alias: Optional[_AliasRouting] = None
         self.middlebox: Optional[_SharedMiddlebox] = None
         if coupling is not None:
             full_spec = coupling["full_spec"]
@@ -1022,6 +1168,13 @@ class ShardHost:
                 self.mobility = _ShardMobility(self, full_spec,
                                                coupling["assignment"],
                                                coupling["lookahead"])
+            aliases = wrapped_address_aliases(full_spec)
+            if aliases:
+                # Wrapped UEs are validated non-mobile, so this slots in
+                # after mobility without contention; a middlebox built
+                # below supersedes the sender cut.
+                self.alias = _AliasRouting(self, full_spec,
+                                           coupling["assignment"], aliases)
             mbx_shard = coupling.get("mbx_shard")
             if mbx_shard is not None:
                 # After the mobility runtime: the middlebox re-cuts every
@@ -1047,7 +1200,7 @@ class ShardHost:
 
     def boundary_idle(self) -> bool:
         """True when this shard provably cannot emit boundary traffic."""
-        if self.middlebox is not None:
+        if self.middlebox is not None or self.alias is not None:
             return False
         if self.mobility is None:
             return True
@@ -1182,17 +1335,15 @@ class _BoundaryRouter:
     pending_commits: list = field(default_factory=list)
 
     #: True when two shards could ever owe each other a packet: a mobile
-    #: UE whose itinerary leaves its home shard, or (defensively) an
-    #: aliased client address.  When False the synchronizer runs a single
-    #: window to the horizon — conservative lookahead over zero
-    #: inter-federate links is unbounded.
+    #: UE whose itinerary leaves its home shard, or an aliased client
+    #: address.  When False the synchronizer runs a single window to the
+    #: horizon — conservative lookahead over zero inter-federate links is
+    #: unbounded.
     boundary_required: bool = False
-    #: True when coupling comes from aliased addresses rather than the
-    #: mobility schedule.  Such coupling has no schedule the adaptive
-    #: clock could jump by, so it forces fixed-cadence windows.
-    #: (Unreachable through :func:`run_scenario_sharded` today —
-    #: ``sharding_blockers`` refuses wrapped address spaces — kept
-    #: correct for hand-built plans.)
+    #: True when coupling comes from aliased addresses (a wrapped >250-UE
+    #: space) rather than the mobility schedule.  Such coupling has no
+    #: schedule the adaptive clock could jump by, so it forces
+    #: fixed-cadence windows.
     ip_conflict: bool = False
 
     @classmethod
@@ -1214,10 +1365,10 @@ class _BoundaryRouter:
             shard = plan.assignment[ue.cell_id]
             address = ue_ip(ue.ue_id)
             if ip_to_shard.setdefault(address, shard) != shard:
-                # Defensive only: sharding_blockers refuses wrapped address
-                # spaces before a plan is built, so run_scenario_sharded can
-                # never reach this.  Kept for hand-built plans: last
-                # registration wins, like the single core's routing table.
+                # A wrapped (>250-UE) address space: last registration wins,
+                # like the single core's routing table — the final value is
+                # the winning (highest) ue_id's shard, which is where
+                # _AliasRouting steers every packet for the address.
                 ip_to_shard[address] = shard
                 ip_conflict = True
         flow_order = {}
@@ -1341,6 +1492,12 @@ def merge_shard_results(config: ScenarioSpec, plan: ShardPlan,
             entry = mark_counts.setdefault(flow_id, [0, 0])
             entry[0] += marked
             entry[1] += downlink
+    # A wrapped address's losing flows are marked on the *winner's* shard
+    # (their packets ride the winner's bearers there); re-derive their
+    # marked_fraction from the cross-shard sums, like mobile flows.
+    aliases = wrapped_address_aliases(config)
+    aliased_flow_ids = {spec.flow_id for spec in resolved_flows
+                        if ue_ip_address(spec.ue_id) in aliases}
     merged_owd_times: dict[int, list[float]] = {}
     mobile_flow_bytes: dict[int, int] = {}
     replay = ThroughputCollector(window=config.throughput_window)
@@ -1376,6 +1533,11 @@ def merge_shard_results(config: ScenarioSpec, plan: ShardPlan,
                 marked_fraction=marked / downlink if downlink else 0.0,
                 throughput_series=replay.series.get(spec.flow_id,
                                                     TimeSeries()))
+        elif spec.flow_id in aliased_flow_ids:
+            marked, downlink = mark_counts.get(spec.flow_id, [0, 0])
+            flow = dataclasses.replace(
+                flow,
+                marked_fraction=marked / downlink if downlink else 0.0)
         ordered_flows.append(flow)
 
     bearer_names: dict[int, list[str]] = {}
@@ -1648,9 +1810,9 @@ def run_scenario_sharded(config: ScenarioSpec, shards: Optional[int] = None,
     """Run ``config`` with cells sharded across processes; merged result.
 
     Falls back with a warning naming the blockers: the few specs a split
-    cannot reproduce byte-for-byte (single cell, wrapped address space,
-    zero-rate middlebox schedule, too-small SNR commit lag) run on the
-    classic single loop, and the result's ``sharding_stats`` records why.
+    cannot reproduce byte-for-byte (single cell, too-small SNR commit lag,
+    a mobile UE on a wrapped address) run on the classic single loop, and
+    the result's ``sharding_stats`` records why.
     Platforms that cannot host worker processes use the in-process
     synchronizer (identical results — only wall-clock differs).  ``shards``
     overrides the spec's worker count and ``adaptive`` the spec's
@@ -1691,7 +1853,8 @@ def run_scenario_sharded(config: ScenarioSpec, shards: Optional[int] = None,
     if config.mobility.enabled:
         coupling_intervals = mobility_coupling_intervals(config, plan)
         commit_points = schedule_commit_points(config, plan)
-    if config.mobility.enabled or mbx_shard is not None:
+    aliases = wrapped_address_aliases(config)
+    if config.mobility.enabled or mbx_shard is not None or aliases:
         coupling_payload = {"full_spec": config.to_dict(),
                             "assignment": plan.assignment,
                             "lookahead": plan.lookahead,
@@ -1701,7 +1864,7 @@ def run_scenario_sharded(config: ScenarioSpec, shards: Optional[int] = None,
         mobility_coupled=bool(coupling_intervals) or always_coupled)
     if adaptive is None:
         adaptive = config.sharding.adaptive_windows
-    # Address-alias coupling (defensive-only today) has no schedule the
+    # Address-alias coupling (wrapped >250-UE specs) has no schedule the
     # adaptive clock could jump by; fall back to fixed cadence for it.
     sync = _SyncPlan(horizon=config.duration_s, lookahead=plan.lookahead,
                      boundary_required=router.boundary_required,
@@ -1776,4 +1939,5 @@ __all__ = [
     "sharding_blockers",
     "split_spec",
     "window_schedule",
+    "wrapped_address_aliases",
 ]

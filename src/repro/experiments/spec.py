@@ -557,6 +557,16 @@ class ScenarioSpec:
             if flow.flow_id in flow_ids:
                 raise ValueError(f"duplicate flow_id {flow.flow_id}")
             flow_ids.add(flow.flow_id)
+        # A zero rate is legal (the link stalls until the schedule resumes
+        # it); a negative one is meaningless on both execution paths.
+        if (self.wired_bottleneck_mbps is not None
+                and self.wired_bottleneck_mbps < 0):
+            raise ValueError("wired_bottleneck_mbps must be >= 0")
+        for start_time, rate in self.wired_bottleneck_schedule:
+            if rate < 0:
+                raise ValueError(
+                    f"wired_bottleneck_schedule sets a negative rate "
+                    f"({rate}) at t={start_time}")
         self._validate_mobility(cell_ids, {ue.ue_id: ue.cell_id for ue in ues})
         return self
 

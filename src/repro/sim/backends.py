@@ -117,6 +117,17 @@ def default_engine_name() -> str:
     return resolved
 
 
+def available_backends() -> list[str]:
+    """Primary backend names runnable in this interpreter, sorted.
+
+    Vectorized backends are listed only when numpy is importable, so
+    differential harnesses (the fuzzer's cross-backend suite, parametrized
+    tests) can enumerate what to compare without try/except probing.
+    """
+    return [name for name in ENGINE_BACKENDS.names()
+            if not ENGINE_BACKENDS.get(name).vectorized or numpy_available()]
+
+
 def make_engine_backend(name: Optional[str] = None,
                         channel_block: int = 256) -> EngineBackend:
     """Instantiate a backend by name (None = the environment default)."""

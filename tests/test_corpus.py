@@ -1,0 +1,37 @@
+"""Replay the committed fuzz corpus through every invariant suite.
+
+Each ``tests/corpus/*.json`` entry is a previously interesting spec —
+a retired sharding blocker, a minimized campaign failure, a
+determinism-tier representative — pinned so regressions on any runtime
+axis fail tier-1 loudly.  The corpus format is the contract
+``scripts/fuzz_specs.py --minimize`` appends to.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.fuzz import check_spec
+from repro.experiments.spec import ScenarioSpec
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+ENTRIES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_not_empty():
+    """An empty corpus means replay silently checks nothing."""
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_replays_clean(path):
+    entry = json.loads(path.read_text())
+    assert entry["schema"] == 1, f"{path.name}: unknown corpus schema"
+    assert entry["name"], f"{path.name}: entry must carry a name"
+    spec = ScenarioSpec.from_dict(entry["spec"])
+    violations = check_spec(spec,
+                            shard_counts=entry.get("shard_counts", [2]))
+    assert violations == [], f"{path.name} ({entry['name']}): {violations}"

@@ -159,3 +159,38 @@ def test_documented_defaults_match_spec(scenarios_md):
     assert "`0.020`" in scenarios_md
     assert spec.mobility.ho_mode == "forward"
     assert spec.sharding.adaptive_windows is True
+
+
+@pytest.fixture(scope="module")
+def architecture_md() -> str:
+    return (DOCS / "architecture.md").read_text(encoding="utf-8")
+
+
+def test_architecture_doc_covers_every_invariant_suite(architecture_md):
+    """The fuzzing section's suite table tracks INVARIANT_SUITES."""
+    from repro.experiments.fuzz import INVARIANT_SUITES
+
+    section = architecture_md.split("## Differential fuzzing", 1)[1]
+    for name in INVARIANT_SUITES:
+        assert f"`{name}`" in section, (
+            f"invariant suite {name!r} is registered but missing from the "
+            "Differential fuzzing section of docs/architecture.md")
+
+
+def test_architecture_doc_covers_fuzz_workflow(architecture_md):
+    """Campaign runner, minimizer and corpus policy are all documented."""
+    section = architecture_md.split("## Differential fuzzing", 1)[1]
+    for token in ("scripts/fuzz_specs.py", "--campaign", "--time-budget",
+                  "--minimize", "tests/corpus/", "tests/test_corpus.py",
+                  "failure_signature", "fuzz-nightly.yml",
+                  "REPRO_CORE_BUDGET"):
+        assert token in section, (
+            f"{token!r} missing from the Differential fuzzing section of "
+            "docs/architecture.md")
+
+
+def test_readme_links_differential_fuzzing_section():
+    readme = (DOCS.parent / "README.md").read_text(encoding="utf-8")
+    assert "docs/architecture.md#differential-fuzzing" in readme, (
+        "README must link the Differential fuzzing section of "
+        "docs/architecture.md")

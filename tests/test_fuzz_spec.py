@@ -32,11 +32,33 @@ def test_random_spec_is_seed_reproducible(seed):
     assert random_spec(random.Random(seed)) == random_spec(random.Random(seed))
 
 
+#: Axis suffixes random_spec appends after the coupling mode.
+_AXES = {"fading", "pop", "wrap", "stall", "np"}
+
+
+def _coupling_of(name: str) -> str:
+    parts = name.removeprefix("fuzz-").split("+")
+    while parts and parts[-1] in _AXES:
+        parts.pop()
+    return "+".join(parts)
+
+
 def test_generator_covers_every_coupling_mode():
     """A modest seed sweep reaches all five coupling modes."""
     names = {random_spec(random.Random(seed)).name for seed in range(40)}
-    assert names == {"fuzz-plain", "fuzz-mbx", "fuzz-snr",
-                     "fuzz-mbx+snr", "fuzz-short-ho"}
+    assert {_coupling_of(name) for name in names} == {
+        "plain", "mbx", "snr", "mbx+snr", "short-ho"}
+
+
+def test_generator_covers_every_axis():
+    """The same sweep also draws every orthogonal spec axis at least once
+    (fading channels, population blocks, wrapped addresses, zero-rate
+    stalls, the vectorized backend)."""
+    names = [random_spec(random.Random(seed)).name for seed in range(40)]
+    drawn = {axis for name in names
+             for axis in name.removeprefix("fuzz-").split("+")
+             if axis in _AXES}
+    assert drawn == _AXES, f"axes never drawn: {_AXES - drawn}"
 
 
 def test_check_spec_reports_instead_of_raising():

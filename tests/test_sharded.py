@@ -20,13 +20,14 @@ from repro.experiments.sharded import (ConservativeSyncError, ShardHost,
                                        ShardPlanError, boundary_lookahead,
                                        build_shard_plan, merge_shard_results,
                                        run_scenario_sharded, sharding_blockers,
-                                       split_spec, window_schedule)
-from repro.experiments.spec import (CellSpec, ScenarioSpec, ShardingSpec,
-                                    UeSpec)
+                                       split_spec, window_schedule,
+                                       wrapped_address_aliases)
+from repro.experiments.spec import (CellSpec, HandoverSpec, MobilitySpec,
+                                    ScenarioSpec, ShardingSpec, UeSpec)
 from repro.net.addresses import FiveTuple
 from repro.net.ecn import ECN
 from repro.net.packet import make_data_packet
-from repro.units import ms
+from repro.units import mbps, ms, transmission_time
 from repro.workloads.flows import FlowSpec
 
 
@@ -36,6 +37,25 @@ def _two_cell_static(duration: float = 1.5) -> ScenarioSpec:
         base, duration_s=duration,
         ues=[dataclasses.replace(ue, channel_profile="static")
              for ue in base.ues])
+
+
+def _wrapped_address_spec(duration: float = 0.6) -> ScenarioSpec:
+    """Two colliding address pairs (0/250, 1/251), winners cross-shard."""
+    return ScenarioSpec(
+        name="wrapped", duration_s=duration, num_ues=0, marker="l4span",
+        cells=[CellSpec(cell_id=0), CellSpec(cell_id=1)],
+        ues=[UeSpec(ue_id=0, cell_id=0, channel_profile="static"),
+             UeSpec(ue_id=1, cell_id=1, channel_profile="static"),
+             UeSpec(ue_id=250, cell_id=1, channel_profile="static"),
+             UeSpec(ue_id=251, cell_id=0, channel_profile="static")],
+        flows=[FlowSpec(flow_id=0, ue_id=0, cc_name="prague"),
+               FlowSpec(flow_id=1, ue_id=1, cc_name="cubic",
+                        start_time=0.02),
+               FlowSpec(flow_id=2, ue_id=250, cc_name="prague",
+                        start_time=0.01, wan_rtt=ms(30)),
+               FlowSpec(flow_id=3, ue_id=251, cc_name="cubic",
+                        start_time=0.03, wan_rtt=ms(40))],
+        sharding=ShardingSpec(mode="auto", shards=2))
 
 
 def _flows_equal(a, b) -> bool:
@@ -104,26 +124,35 @@ class TestShardPlanning:
         assert sharded.sharding_stats["boundary_required"]
         assert sharded.sharding_stats["shards"] == 2
 
-    def test_zero_rate_middlebox_schedule_blocks_sharding(self):
-        """A zero-rate interval stalls the queue with no bounding event;
-        the synchronizer cannot floor a window under it, so it refuses."""
-        spec = dataclasses.replace(_two_cell_static(),
+    def test_zero_rate_middlebox_schedule_shards_bit_identically(self):
+        """A zero-rate step stalls the shared queue mid-run; the window
+        floor rests at the schedule's rate-resume event and per-flow
+        metrics still match the single loop exactly."""
+        spec = dataclasses.replace(_two_cell_static(duration=1.2),
                                    wired_bottleneck_mbps=20.0,
                                    wired_bottleneck_schedule=[(0.5, 0.0),
                                                               (0.8, 20.0)])
-        assert any("zero rate" in reason
-                   for reason in sharding_blockers(spec))
-        # auto mode falls back to the single loop, loudly
-        with pytest.warns(RuntimeWarning, match="zero rate"):
-            result = run_scenario_sharded(spec, shards=2, inprocess=True)
-        assert len(result.flows) == 4
-        assert result.sharding_stats["fallback"] == "single-loop"
-        with pytest.raises(ShardPlanError):
-            run_scenario_sharded(
-                dataclasses.replace(
-                    spec, sharding=ShardingSpec(mode="explicit",
-                                                map={0: 0, 1: 1})),
-                inprocess=True)
+        assert sharding_blockers(spec) == []
+        single = run_scenario(
+            dataclasses.replace(spec, sharding=ShardingSpec(mode="off")))
+        sharded = run_scenario_sharded(spec, shards=2, inprocess=True)
+        assert not sharded.sharding_stats.get("fallback")
+        assert all(_flows_equal(a, b)
+                   for a, b in zip(single.flows, sharded.flows))
+
+    def test_zero_rate_stall_to_horizon_shards_bit_identically(self):
+        """A stall that never resumes constrains no window (its queue
+        never egresses again, exactly like the single loop's)."""
+        spec = dataclasses.replace(_two_cell_static(duration=1.0),
+                                   wired_bottleneck_mbps=20.0,
+                                   wired_bottleneck_schedule=[(0.4, 0.0)])
+        assert sharding_blockers(spec) == []
+        single = run_scenario(
+            dataclasses.replace(spec, sharding=ShardingSpec(mode="off")))
+        sharded = run_scenario_sharded(spec, shards=2, inprocess=True)
+        assert not sharded.sharding_stats.get("fallback")
+        assert all(_flows_equal(a, b)
+                   for a, b in zip(single.flows, sharded.flows))
 
     def test_explicit_plan_conflicting_shards_override_rejected(self):
         spec = dataclasses.replace(
@@ -134,15 +163,44 @@ class TestShardPlanning:
         # A matching override is redundant but legal.
         assert build_shard_plan(spec, shards=2).num_shards == 2
 
-    def test_wrapped_ue_address_space_blocks_sharding(self):
-        """>250 UEs alias client IPs; even the single loop only resolves
-        that by misdelivery, so the split refuses instead of diverging."""
-        spec = ScenarioSpec(
-            num_ues=251, duration_s=0.1,
-            cells=[CellSpec(cell_id=0), CellSpec(cell_id=1)])
-        assert any("address space wraps" in reason
-                   for reason in sharding_blockers(spec))
+    def test_wrapped_ue_address_space_shards_bit_identically(self):
+        """>250 UEs alias client IPs; the single loop resolves each
+        collision last-registration-wins (the losing flow degrades to a
+        receiver-less trickle), and the alias-routing runtime reproduces
+        that byte-for-byte across shards."""
+        spec = _wrapped_address_spec()
+        assert wrapped_address_aliases(spec) == {"10.45.0.2": 250,
+                                                "10.45.0.3": 251}
+        assert sharding_blockers(spec) == []
         assert sharding_blockers(_two_cell_static()) == []
+        single = run_scenario(
+            dataclasses.replace(spec, sharding=ShardingSpec(mode="off")))
+        sharded = run_scenario_sharded(spec, shards=2, inprocess=True)
+        assert not sharded.sharding_stats.get("fallback")
+        assert all(_flows_equal(a, b)
+                   for a, b in zip(single.flows, sharded.flows))
+        assert single.per_ue_throughput == sharded.per_ue_throughput
+        # The losing flows' senders get no ACKs: zero delivered goodput,
+        # on both execution paths.
+        assert single.flows[0].goodput_bytes_per_s == 0.0
+        assert single.flows[1].goodput_bytes_per_s == 0.0
+        assert single.flows[2].goodput_bytes_per_s > 0.0
+
+    def test_wrapped_plus_mobile_ue_still_blocks(self):
+        """A mobile UE on a wrapped address would need a *dynamic* winner
+        map; that combination stays refused."""
+        spec = dataclasses.replace(
+            _wrapped_address_spec(),
+            mobility=MobilitySpec(mode="schedule", handovers=[
+                HandoverSpec(time=0.2, ue_id=250, target_cell=0)]))
+        assert any("wrapped" in reason and "mobile" in reason
+                   for reason in sharding_blockers(spec))
+        with pytest.raises(ShardPlanError, match="wrapped"):
+            run_scenario_sharded(
+                dataclasses.replace(
+                    spec, sharding=ShardingSpec(mode="explicit",
+                                                map={0: 0, 1: 1})),
+                inprocess=True)
 
     def test_split_spec_partitions_cells_ues_flows(self):
         spec = make_preset("eight-cell").validate()
@@ -382,3 +440,90 @@ class TestMergeStep:
         single = run_scenario(spec)
         assert list(merged.queue_length_by_drb) == \
             list(single.queue_length_by_drb)
+
+
+class TestTrackedLinkStall:
+    """Unit coverage for the zero-rate stall branch of _TrackedLink.
+
+    The sharded middlebox runtime relies on the link holding its head
+    packet (rather than dropping it or dividing by zero) while a
+    schedule step pins the rate to 0, and on ``set_rate`` restarting
+    the serialisation pipeline when the schedule resumes.
+    """
+
+    @staticmethod
+    def _packet(seq: int):
+        return make_data_packet(
+            flow_id=0, five_tuple=FiveTuple(
+                src_ip="10.0.0.1", src_port=443, dst_ip="10.45.0.2",
+                dst_port=50_000, protocol="tcp"),
+            seq=seq, payload=1200, ecn=ECN.ECT1, now=0.0)
+
+    def test_stall_holds_head_then_resume_delivers_in_order(self):
+        from repro.experiments.sharded import _TrackedLink
+        from repro.sim.engine import Simulator
+
+        sim = Simulator(seed=0)
+        delivered = []
+
+        class Sink:
+            def receive(self, packet):
+                delivered.append((sim.now, packet.seq))
+
+        link = _TrackedLink(sim, rate=0.0, sink=Sink())
+        first, second = self._packet(0), self._packet(1200)
+        link.receive(first)
+        link.receive(second)
+        sim.run(until=0.1)
+        # Stalled: both packets held on the queue, nothing predicted to
+        # complete — the synchronizer floor must come from the schedule.
+        assert delivered == []
+        assert link.next_completion is None
+        assert not link._busy  # noqa: SLF001 - asserting the stall state
+        assert link.queued_bytes == first.size + second.size
+        # Resuming re-enters the transmit pipeline in FIFO order.  (The
+        # clock sits at the last processed event — a stalled link
+        # schedules nothing — so serialisation restarts from sim.now.)
+        resumed_at = sim.now
+        link.set_rate(mbps(20.0))
+        sim.run(until=1.0)
+        assert [seq for _t, seq in delivered] == [0, 1200]
+        assert delivered[0][0] == pytest.approx(
+            resumed_at + transmission_time(first.size, mbps(20.0)))
+        assert link.next_completion is None
+
+    def test_resume_to_zero_is_a_no_op(self):
+        from repro.experiments.sharded import _TrackedLink
+        from repro.sim.engine import Simulator
+
+        sim = Simulator(seed=0)
+        link = _TrackedLink(sim, rate=0.0, sink=None)
+        link.receive(self._packet(0))
+        sim.run(until=0.05)
+        link.set_rate(0.0)
+        sim.run(until=0.1)
+        assert link.queue.peek() is not None
+        assert link.next_completion is None
+
+    def test_middlebox_floor_tracks_next_resume(self):
+        """While the shared queue is stalled the window floor is the
+        schedule's next positive-rate step; a schedule that never
+        resumes constrains nothing (floor() -> None path)."""
+        spec = dataclasses.replace(
+            _two_cell_static(duration=1.0), wired_bottleneck_mbps=20.0,
+            wired_bottleneck_schedule=[(0.2, 0.0), (0.6, 10.0)])
+        spec = spec.validate()
+        plan = build_shard_plan(spec, shards=2)
+        subs = split_spec(spec, plan)
+        mbx_shard = plan.assignment[spec.resolved_cells()[0].cell_id]
+        coupling = {"full_spec": spec.to_dict(),
+                    "assignment": plan.assignment,
+                    "lookahead": plan.lookahead,
+                    "mbx_shard": mbx_shard}
+        hosts = [ShardHost(sub, i, coupling=coupling)
+                 for i, sub in enumerate(subs)]
+        mbx = next(h.middlebox for h in hosts if h.middlebox is not None
+                   and h.middlebox.router is not None)
+        assert mbx._resume_times == [0.6]  # noqa: SLF001
+        assert mbx._next_resume(0.0) == pytest.approx(0.6)  # noqa: SLF001
+        assert mbx._next_resume(0.6) is None  # noqa: SLF001
